@@ -1,0 +1,223 @@
+package avtmor_test
+
+// One benchmark per table and figure of the paper's evaluation (§3), plus
+// ablations for the §4 discussion points and micro-benchmarks of the
+// structured solver stack. Regenerate everything with
+//
+//	go test -bench=. -benchmem ./...
+//
+// Absolute times are machine-dependent; the quantities to compare are the
+// ratios within each experiment (proposed vs NORM vs full model), which is
+// exactly how Table 1 is laid out in the paper.
+
+import (
+	"math/rand"
+	"testing"
+
+	"avtmor/internal/circuits"
+	"avtmor/internal/core"
+	"avtmor/internal/exper"
+	"avtmor/internal/kron"
+	"avtmor/internal/mat"
+	"avtmor/internal/ode"
+	"avtmor/internal/qldae"
+)
+
+// --- Figure-level benchmarks: one full regeneration per iteration ---
+
+func BenchmarkFig2NTLVoltage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3NTLCurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4RFReceiver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5Varistor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 1: subspace construction ("Arnoldi") and ODE-solve rows ---
+
+func sect32() (*circuits.Workload, core.Options) {
+	w := circuits.NTLCurrent(70)
+	return w, core.Options{K1: 6, K2: 3, K3: 2, S0: w.S0}
+}
+
+func sect33() (*circuits.Workload, core.Options) {
+	w := circuits.RFReceiver()
+	return w, core.Options{K1: 4, K2: 2, S0: w.S0}
+}
+
+func benchArnoldi(b *testing.B, w *circuits.Workload, opt core.Options, norm bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if norm {
+			_, err = core.ReduceNORM(w.Sys, opt)
+		} else {
+			_, err = core.Reduce(w.Sys, opt)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchODESolve(b *testing.B, w *circuits.Workload, sys *qldae.System) {
+	b.Helper()
+	x0 := make([]float64, sys.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if w.Stiff {
+			_, err = ode.Trapezoidal(sys, x0, w.U, w.TEnd, w.Steps)
+		} else {
+			res := ode.RK4(sys, x0, w.U, w.TEnd, w.Steps)
+			_ = res
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Sect32ArnoldiProposed(b *testing.B) {
+	w, opt := sect32()
+	benchArnoldi(b, w, opt, false)
+}
+
+func BenchmarkTable1Sect32ArnoldiNORM(b *testing.B) {
+	w, opt := sect32()
+	benchArnoldi(b, w, opt, true)
+}
+
+func BenchmarkTable1Sect32ODESolveOriginal(b *testing.B) {
+	w, _ := sect32()
+	benchODESolve(b, w, w.Sys)
+}
+
+func BenchmarkTable1Sect32ODESolveProposed(b *testing.B) {
+	w, opt := sect32()
+	rom, err := core.Reduce(w.Sys, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchODESolve(b, w, rom.Sys)
+}
+
+func BenchmarkTable1Sect32ODESolveNORM(b *testing.B) {
+	w, opt := sect32()
+	rom, err := core.ReduceNORM(w.Sys, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchODESolve(b, w, rom.Sys)
+}
+
+func BenchmarkTable1Sect33ArnoldiProposed(b *testing.B) {
+	w, opt := sect33()
+	benchArnoldi(b, w, opt, false)
+}
+
+func BenchmarkTable1Sect33ArnoldiNORM(b *testing.B) {
+	w, opt := sect33()
+	benchArnoldi(b, w, opt, true)
+}
+
+func BenchmarkTable1Sect33ODESolveOriginal(b *testing.B) {
+	w, _ := sect33()
+	benchODESolve(b, w, w.Sys)
+}
+
+func BenchmarkTable1Sect33ODESolveProposed(b *testing.B) {
+	w, opt := sect33()
+	rom, err := core.Reduce(w.Sys, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchODESolve(b, w, rom.Sys)
+}
+
+func BenchmarkTable1Sect33ODESolveNORM(b *testing.B) {
+	w, opt := sect33()
+	rom, err := core.ReduceNORM(w.Sys, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchODESolve(b, w, rom.Sys)
+}
+
+// --- §4 ablation: subspace growth vs moment count ---
+
+func BenchmarkAblationSubspaceGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exper.Ablation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDecoupledH2 compares the Eq.-(18) Sylvester-decoupled
+// H2 subspace generation against the default block-triangular path.
+func BenchmarkAblationDecoupledH2(b *testing.B) {
+	w := circuits.NTLCurrent(70)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Reduce(w.Sys, core.Options{K1: 6, K2: 3, S0: w.S0, DecoupledH2: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Structured solver micro-benchmarks (the §2.3 machinery) ---
+
+func BenchmarkSolverKronSum2N70(b *testing.B) {
+	w := circuits.NTLCurrent(70)
+	ss, err := kron.NewSumSolver2(w.Sys.G1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := mat.RandVec(rand.New(rand.NewSource(1)), 70*70)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ss.Solve(0, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverKronSum3N102(b *testing.B) {
+	w := circuits.Varistor()
+	ss, err := kron.NewSumSolver3(w.Sys.G1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := w.Sys.N
+	v := mat.RandVec(rand.New(rand.NewSource(1)), n*n*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ss.Solve(w.S0, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command avtmor regenerates the evaluation of "Fast Nonlinear Model Order
+// Reduction via Associated Transforms of High-Order Volterra Transfer
+// Functions" (DAC 2012): transient figures 2–5, the runtime Table 1, and
+// the §4 subspace-growth ablation.
+//
+// Usage:
+//
+//	avtmor [-out DIR] [fig2|fig3|fig4|fig5|table1|ablation|all]
+//
+// Each experiment prints a summary to stdout; figure experiments also
+// write their series as CSV files under -out (default "results").
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"avtmor/internal/exper"
+)
+
+func main() {
+	out := flag.String("out", "results", "directory for CSV figure series")
+	flag.Parse()
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	runners := map[string]func() (*exper.Report, error){
+		"fig2":     exper.Fig2,
+		"fig3":     exper.Fig3,
+		"fig4":     exper.Fig4,
+		"fig5":     exper.Fig5,
+		"table1":   exper.Table1,
+		"ablation": exper.Ablation,
+	}
+	order := []string{"fig2", "fig3", "fig4", "fig5", "table1", "ablation"}
+	var reports []*exper.Report
+	for _, t := range targets {
+		switch {
+		case t == "all":
+			rs, err := exper.All()
+			if err != nil {
+				fatal(err)
+			}
+			reports = append(reports, rs...)
+		case runners[t] != nil:
+			r, err := runners[t]()
+			if err != nil {
+				fatal(err)
+			}
+			reports = append(reports, r)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (choose from %v or all)\n", t, order)
+			os.Exit(2)
+		}
+	}
+	for _, r := range reports {
+		fmt.Printf("== %s ==\n", r.Title)
+		for _, l := range r.Lines {
+			fmt.Println("  " + l)
+		}
+		if r.CSV != nil {
+			if err := writeCSV(*out, r.ID+".csv", r.CSV); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  series written to %s\n", filepath.Join(*out, r.ID+".csv"))
+		}
+		fmt.Println()
+	}
+}
+
+func writeCSV(dir, name string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avtmor:", err)
+	os.Exit(1)
+}

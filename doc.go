@@ -1,0 +1,11 @@
+// Package avtmor reproduces "Fast Nonlinear Model Order Reduction via
+// Associated Transforms of High-Order Volterra Transfer Functions"
+// (Y. Zhang, H. Liu, Q. Wang, N. Fong, N. Wong — DAC 2012, pp. 289–294)
+// as a self-contained, stdlib-only Go library.
+//
+// The implementation lives under internal/: see internal/core for the
+// reduction entry points (Reduce, ReduceNORM), internal/assoc for the
+// associated-transform realizations, and DESIGN.md for the full system
+// inventory. cmd/avtmor regenerates every table and figure of the paper's
+// evaluation; bench_test.go wraps the same experiments as benchmarks.
+package avtmor

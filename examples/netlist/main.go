@@ -1,0 +1,62 @@
+// Netlist example: parse a SPICE-like description of a diode clipper
+// chain, let the builder quadratic-linearize the exponential diodes, then
+// reduce and simulate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"avtmor/internal/core"
+	"avtmor/internal/netlist"
+	"avtmor/internal/ode"
+)
+
+const clipper = `
+* four-stage RC chain with diode clippers (exp diodes, auto-linearized)
+I1 0 n1 IN0 1.0
+C1 n1 0 1.0
+R1 n1 0 2.0
+D1 n1 0 1.0 0.05
+R12 n1 n2 1.0
+C2 n2 0 1.0
+D2 n2 0 1.0 0.05
+R23 n2 n3 1.0
+C3 n3 0 1.0
+D3 n3 0 1.0 0.05
+R34 n3 n4 1.0
+C4 n4 0 1.0
+R4 n4 0 2.0
+.out n4
+.end
+`
+
+func main() {
+	ckt, err := netlist.Parse(strings.NewReader(clipper))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("parsed:", ckt.Summary())
+
+	sys, err := ckt.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QLDAE: n = %d (4 nodes + 3 diode states), D1 present = %v\n",
+		sys.N, sys.D1 != nil)
+
+	// The exact linearization leaves neutral manifold directions in G1, so
+	// expand off DC (paper §4, non-DC expansion).
+	rom, err := core.Reduce(sys, core.Options{K1: 4, K2: 2, K3: 1, S0: 0.4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ROM order %d from %d candidates\n", rom.Order(), rom.Stats.Candidates)
+
+	u := func(t float64) []float64 { return []float64{0.08 * math.Sin(2*math.Pi*t/6)} }
+	full := ode.RK4(sys, make([]float64, sys.N), u, 24, 8000)
+	red := ode.RK4(rom.Sys, make([]float64, rom.Order()), u, 24, 8000)
+	fmt.Printf("max relative transient error: %.3g\n", ode.MaxRelErr(full, red, 0))
+}

@@ -1,0 +1,181 @@
+package arnoldi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"avtmor/internal/lu"
+	"avtmor/internal/mat"
+	"avtmor/internal/qr"
+)
+
+func TestKrylovSpansPowers(t *testing.T) {
+	// For a dense A and single b, the basis must span {b, Ab, ..., A^{k-1}b}.
+	rng := rand.New(rand.NewSource(1))
+	n, k := 12, 5
+	a := mat.RandDense(rng, n, n)
+	b := mat.RandVec(rng, n)
+	res := Krylov(MatOp{a}, [][]float64{b}, k, 0)
+	if res.V == nil || res.V.C != k {
+		t.Fatalf("basis has %v columns, want %d", res.V, k)
+	}
+	if qr.OrthoError(res.V) > 1e-12 {
+		t.Fatal("basis not orthonormal")
+	}
+	// Check every power is reproduced by the projector.
+	w := mat.CopyVec(b)
+	tmp := make([]float64, n)
+	for p := 0; p < k; p++ {
+		coef := make([]float64, res.V.C)
+		res.V.MulVecT(coef, w)
+		rec := make([]float64, n)
+		res.V.MulVec(rec, coef)
+		mat.Axpy(-1, w, rec)
+		if mat.Norm2(rec) > 1e-9*mat.Norm2(w) {
+			t.Fatalf("A^%d b not in span (err %g)", p, mat.Norm2(rec))
+		}
+		a.MulVec(tmp, w)
+		w, tmp = mat.CopyVec(tmp), w
+	}
+}
+
+func TestKrylovDeflationOnInvariantSubspace(t *testing.T) {
+	// A = I: Krylov space is 1-dimensional regardless of steps.
+	n := 8
+	b := make([]float64, n)
+	b[3] = 2
+	res := Krylov(MatOp{mat.Eye(n)}, [][]float64{b}, 5, 0)
+	if res.V.C != 1 {
+		t.Fatalf("want 1 basis vector, got %d", res.V.C)
+	}
+	if res.Deflated == 0 {
+		t.Fatal("expected deflations to be counted")
+	}
+}
+
+func TestKrylovBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 10
+	a := mat.RandDense(rng, n, n)
+	b1 := mat.RandVec(rng, n)
+	b2 := mat.RandVec(rng, n)
+	res := Krylov(MatOp{a}, [][]float64{b1, b2}, 3, 0)
+	if res.V.C != 6 {
+		t.Fatalf("block basis has %d columns, want 6", res.V.C)
+	}
+	if qr.OrthoError(res.V) > 1e-12 {
+		t.Fatal("block basis not orthonormal")
+	}
+	// A·b2 must lie in the span.
+	ab2 := make([]float64, n)
+	a.MulVec(ab2, b2)
+	coef := make([]float64, res.V.C)
+	res.V.MulVecT(coef, ab2)
+	rec := make([]float64, n)
+	res.V.MulVec(rec, coef)
+	mat.Axpy(-1, ab2, rec)
+	if mat.Norm2(rec) > 1e-10*mat.Norm2(ab2) {
+		t.Fatal("A·b2 not in block Krylov span")
+	}
+}
+
+func TestKrylovZeroStart(t *testing.T) {
+	res := Krylov(MatOp{mat.Eye(3)}, [][]float64{{0, 0, 0}}, 3, 0)
+	if res.V != nil || res.Deflated != 1 {
+		t.Fatalf("zero start should fully deflate: %+v", res)
+	}
+}
+
+func TestShiftInvertedKrylovMatchesMoments(t *testing.T) {
+	// Moments of (sI−A)⁻¹b at s=0 span {A⁻¹b, A⁻²b, ...}; using the
+	// inverse as the operator must give the same span.
+	rng := rand.New(rand.NewSource(3))
+	n, k := 9, 4
+	a := mat.RandStable(rng, n, 0.3)
+	f, err := lu.Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mat.RandVec(rng, n)
+	inv0 := make([]float64, n)
+	f.Solve(inv0, b)
+	op := FuncOp{N: n, F: func(dst, src []float64) { f.Solve(dst, src) }}
+	res := Krylov(op, [][]float64{inv0}, k, 0)
+	if res.V.C != k {
+		t.Fatalf("got %d vectors", res.V.C)
+	}
+	// A^{-j}b for j=1..k must be in span.
+	w := mat.CopyVec(inv0)
+	for j := 1; j <= k; j++ {
+		coef := make([]float64, res.V.C)
+		res.V.MulVecT(coef, w)
+		rec := make([]float64, n)
+		res.V.MulVec(rec, coef)
+		mat.Axpy(-1, w, rec)
+		if mat.Norm2(rec) > 1e-8*mat.Norm2(w) {
+			t.Fatalf("A^{-%d}b not in span", j)
+		}
+		f.Solve(w, w)
+	}
+}
+
+func TestDecomposeArnoldiRelation(t *testing.T) {
+	// A·V_k = V_{k+1}·H̃ must hold to machine precision.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		k := 1 + rng.Intn(n-1)
+		a := mat.RandDense(rng, n, n)
+		b := mat.RandVec(rng, n)
+		d := Decompose(MatOp{a}, b, k)
+		vk := d.V.Slice(0, n, 0, d.K)
+		lhs := a.Mul(vk)
+		rhs := d.V.Mul(d.H)
+		return lhs.Equalish(rhs, 1e-10*(1+a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeHappyBreakdown(t *testing.T) {
+	// Start vector inside a 2-dimensional invariant subspace.
+	a := mat.Diag([]float64{1, 2, 3, 4})
+	b := []float64{1, 1, 0, 0}
+	d := Decompose(MatOp{a}, b, 4)
+	if d.K != 2 {
+		t.Fatalf("expected breakdown at 2 steps, got %d", d.K)
+	}
+	// Relation still holds on the truncated factorization.
+	vk := d.V.Slice(0, 4, 0, d.K)
+	if !a.Mul(vk).Equalish(d.V.Mul(d.H), 1e-12) {
+		t.Fatal("truncated Arnoldi relation broken")
+	}
+}
+
+func TestDecomposeHessenbergStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := mat.RandDense(rng, 10, 10)
+	d := Decompose(MatOp{a}, mat.RandVec(rng, 10), 6)
+	for i := 0; i < d.H.R; i++ {
+		for j := 0; j < d.H.C; j++ {
+			if i > j+1 && d.H.At(i, j) != 0 {
+				t.Fatalf("H[%d][%d] = %v below subdiagonal", i, j, d.H.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFuncOp(t *testing.T) {
+	op := FuncOp{N: 2, F: func(dst, src []float64) { dst[0], dst[1] = 2*src[0], 3*src[1] }}
+	if op.Dim() != 2 {
+		t.Fatal("dim")
+	}
+	dst := make([]float64, 2)
+	op.Apply(dst, []float64{1, 1})
+	if math.Abs(dst[0]-2) > 0 || math.Abs(dst[1]-3) > 0 {
+		t.Fatal("apply")
+	}
+}

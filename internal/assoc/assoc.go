@@ -1,0 +1,233 @@
+// Package assoc implements the associated-transform realizations that are
+// the paper's core contribution: the single-s linear state spaces of
+// A2(H2) (Eq. (17)) and A3(H3) (§2.2), together with the structure-
+// exploiting shifted solvers of §2.3. The realization matrix
+//
+//	G̃2 = ⎡G1  G2⎤   ∈ R^{(n+n²)×(n+n²)},  b̃2 = ⎡D1·b⎤,  c̃2 = [I 0]
+//	     ⎣0  ⊕²G1⎦                              ⎣b⊗b ⎦
+//
+// is never formed: every (G̃2 − τI)⁻¹ application is one Kronecker-sum
+// solve (a Sylvester equation over the cached Schur form of G1) plus one
+// shifted LU solve with G1 — O(n³) instead of O((n+n²)³).
+package assoc
+
+import (
+	"errors"
+	"fmt"
+
+	"avtmor/internal/kron"
+	"avtmor/internal/lu"
+	"avtmor/internal/mat"
+	"avtmor/internal/qldae"
+	"avtmor/internal/schur"
+)
+
+// Realization bundles a QLDAE with the cached factorizations used by every
+// associated-transform computation.
+type Realization struct {
+	Sys *qldae.System
+	S2  *kron.SumSolver2 // (⊕²G1 − σI)⁻¹ via Schur(G1)
+	gt2 *Gt2
+
+	luReal map[float64]*lu.LU // cache: (G1 − τI) factorizations
+	luCplx map[complex128]*lu.CLU
+}
+
+// New prepares the realization (one Schur decomposition of G1).
+func New(sys *qldae.System) (*Realization, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	s2, err := kron.NewSumSolver2(sys.G1)
+	if err != nil {
+		return nil, fmt.Errorf("assoc: Schur of G1 failed: %w", err)
+	}
+	r := &Realization{
+		Sys:    sys,
+		S2:     s2,
+		luReal: map[float64]*lu.LU{},
+		luCplx: map[complex128]*lu.CLU{},
+	}
+	r.gt2 = &Gt2{r: r}
+	return r, nil
+}
+
+// Schur returns the cached Schur form of G1.
+func (r *Realization) Schur() *schur.Schur { return r.S2.Schur() }
+
+// Gt2Solver returns the shifted solver for the Eq.-(17) matrix G̃2.
+func (r *Realization) Gt2Solver() *Gt2 { return r.gt2 }
+
+// shiftedLU returns a cached factorization of (G1 − τI).
+func (r *Realization) shiftedLU(tau float64) (*lu.LU, error) {
+	if f, ok := r.luReal[tau]; ok {
+		return f, nil
+	}
+	m := r.Sys.G1.Clone()
+	for i := 0; i < m.R; i++ {
+		m.Add(i, i, -tau)
+	}
+	f, err := lu.Factor(m)
+	if err != nil {
+		return nil, fmt.Errorf("assoc: (G1 − %g·I) singular: %w", tau, err)
+	}
+	scale := m.MaxAbs()
+	if f.MinAbsPivot() < 1e-12*scale {
+		return nil, fmt.Errorf("assoc: (G1 − %g·I) is numerically singular (pivot ratio %.2g); expand at a non-DC point s0",
+			tau, f.MinAbsPivot()/scale)
+	}
+	r.luReal[tau] = f
+	return f, nil
+}
+
+// shiftedCLU returns a cached complex factorization of (G1 − τI).
+func (r *Realization) shiftedCLU(tau complex128) (*lu.CLU, error) {
+	if f, ok := r.luCplx[tau]; ok {
+		return f, nil
+	}
+	f, err := lu.ShiftedReal(r.Sys.G1, -tau)
+	if err != nil {
+		return nil, fmt.Errorf("assoc: (G1 − %v·I) singular: %w", tau, err)
+	}
+	r.luCplx[tau] = f
+	return f, nil
+}
+
+// Btilde2 builds the input column of the Eq.-(17) realization for input
+// pair (i, j): [½(D1ᵢ·bⱼ + D1ⱼ·bᵢ); ½(bᵢ⊗bⱼ + bⱼ⊗bᵢ)]. For SISO (i=j=0)
+// this is exactly [D1·b; b⊗b].
+func (r *Realization) Btilde2(i, j int) []float64 {
+	sys := r.Sys
+	n := sys.N
+	out := make([]float64, n+n*n)
+	tmp := make([]float64, n)
+	if sys.D1 != nil {
+		if sys.D1[i] != nil {
+			sys.D1[i].MulVec(tmp, sys.B.Col(j))
+			mat.Axpy(0.5, tmp, out[:n])
+		}
+		if sys.D1[j] != nil {
+			sys.D1[j].MulVec(tmp, sys.B.Col(i))
+			mat.Axpy(0.5, tmp, out[:n])
+		}
+	}
+	bi, bj := sys.B.Col(i), sys.B.Col(j)
+	kij := kron.VecKron(bi, bj)
+	kji := kron.VecKron(bj, bi)
+	for k := range kij {
+		out[n+k] = 0.5 * (kij[k] + kji[k])
+	}
+	return out
+}
+
+// Gt2 solves (G̃2 − τI)·z = rhs by block back-substitution:
+// w = (⊕²G1 − τI)⁻¹·g, then x = (G1 − τI)⁻¹·(f − G2·w). It implements
+// kron.ShiftedSolver so that the H̃3 operator (G1 ⊕ G̃2) can be handled by
+// the shared column recurrence.
+type Gt2 struct {
+	r *Realization
+}
+
+// Dim returns n + n².
+func (g *Gt2) Dim() int {
+	n := g.r.Sys.N
+	return n + n*n
+}
+
+// SolveShifted computes (G̃2 − τI)⁻¹·rhs for real τ.
+func (g *Gt2) SolveShifted(tau float64, rhs []float64) ([]float64, error) {
+	n := g.r.Sys.N
+	if len(rhs) != n+n*n {
+		panic("assoc: Gt2 SolveShifted length mismatch")
+	}
+	w, err := g.r.S2.Solve(tau, rhs[n:])
+	if err != nil {
+		return nil, err
+	}
+	f, err := g.r.shiftedLU(tau)
+	if err != nil {
+		return nil, err
+	}
+	top := mat.CopyVec(rhs[:n])
+	if g.r.Sys.G2 != nil {
+		g.r.Sys.G2.AddMulVec(top, -1, w)
+	}
+	f.Solve(top, top)
+	out := make([]float64, n+n*n)
+	copy(out[:n], top)
+	copy(out[n:], w)
+	return out, nil
+}
+
+// SolveShiftedC computes (G̃2 − τI)⁻¹·rhs for complex τ.
+func (g *Gt2) SolveShiftedC(tau complex128, rhs []complex128) ([]complex128, error) {
+	n := g.r.Sys.N
+	if len(rhs) != n+n*n {
+		panic("assoc: Gt2 SolveShiftedC length mismatch")
+	}
+	w, err := g.r.S2.SolveC(tau, rhs[n:])
+	if err != nil {
+		return nil, err
+	}
+	f, err := g.r.shiftedCLU(tau)
+	if err != nil {
+		return nil, err
+	}
+	top := make([]complex128, n)
+	copy(top, rhs[:n])
+	if g.r.Sys.G2 != nil {
+		g2w := make([]complex128, n)
+		g.r.Sys.G2.MulVecC(g2w, w)
+		for i := range top {
+			top[i] -= g2w[i]
+		}
+	}
+	f.Solve(top, top)
+	out := make([]complex128, n+n*n)
+	copy(out[:n], top)
+	copy(out[n:], w)
+	return out, nil
+}
+
+// SolveKron solves (G1⊕G̃2 − σI)·z = v, the resolvent of the H̃3
+// realization, via the shared column recurrence over Schur(G1) with inner
+// G̃2 solves. v has length n·(n+n²), stored as n column-stacked blocks.
+func (r *Realization) SolveKron(sigma float64, v []float64) ([]float64, error) {
+	return kron.ColumnSylvester(r.gt2, r.Schur(), sigma, v)
+}
+
+// SolveKronC is the complex-shift variant of SolveKron.
+func (r *Realization) SolveKronC(sigma complex128, v []complex128) ([]complex128, error) {
+	return kron.ColumnSylvesterC(r.gt2, r.Schur(), sigma, v)
+}
+
+// BuildGt2Dense forms G̃2 explicitly. Exponential in memory (n+n²)²; test
+// and diagnostic use only.
+func BuildGt2Dense(sys *qldae.System) *mat.Dense {
+	n := sys.N
+	nn := n + n*n
+	g := mat.NewDense(nn, nn)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g.Set(i, j, sys.G1.At(i, j))
+		}
+	}
+	if sys.G2 != nil {
+		d := sys.G2.Dense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n*n; j++ {
+				g.Set(i, n+j, d.At(i, j))
+			}
+		}
+	}
+	ks := kron.SumDense(sys.G1, sys.G1)
+	for i := 0; i < n*n; i++ {
+		for j := 0; j < n*n; j++ {
+			g.Set(n+i, n+j, ks.At(i, j))
+		}
+	}
+	return g
+}
+
+// errNotSISO flags H3 paths that are implemented for single-input systems.
+var errNotSISO = errors.New("assoc: third-order associated transform requires a SISO system")

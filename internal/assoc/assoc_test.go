@@ -1,0 +1,314 @@
+package assoc
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"avtmor/internal/kron"
+	"avtmor/internal/lu"
+	"avtmor/internal/mat"
+	"avtmor/internal/qldae"
+	"avtmor/internal/sparse"
+	"avtmor/internal/volterra"
+)
+
+// testSystem builds a small random stable SISO QLDAE with G2 and D1.
+func testSystem(rng *rand.Rand, n int, withD1 bool) *qldae.System {
+	g2b := sparse.NewBuilder(n, n*n)
+	for i := 0; i < 3*n; i++ {
+		g2b.Add(rng.Intn(n), rng.Intn(n*n), 0.4*(2*rng.Float64()-1))
+	}
+	s := &qldae.System{
+		N:  n,
+		G1: mat.RandStable(rng, n, 0.4),
+		G2: g2b.Build(),
+		B:  mat.RandDense(rng, n, 1),
+		L:  mat.RandDense(rng, 1, n),
+	}
+	if withD1 {
+		s.D1 = []*mat.Dense{mat.RandDense(rng, n, n).Scale(0.3)}
+	}
+	return s
+}
+
+func cdiff(a, b []complex128) float64 {
+	d := make([]complex128, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	return mat.CNorm2(d)
+}
+
+func TestGt2SolveAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + rng.Intn(4)
+		sys := testSystem(rng, n, true)
+		r, err := New(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gd := BuildGt2Dense(sys)
+		nn := n + n*n
+		tau := 0.3 * rng.Float64()
+		rhs := mat.RandVec(rng, nn)
+		got, err := r.Gt2Solver().SolveShifted(tau, rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shifted := gd.Clone()
+		for i := 0; i < nn; i++ {
+			shifted.Add(i, i, -tau)
+		}
+		want, err := lu.Solve(shifted, rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := make([]float64, nn)
+		mat.SubVec(diff, got, want)
+		if mat.Norm2(diff) > 1e-8*(1+mat.Norm2(want)) {
+			t.Fatalf("trial %d: structured vs dense G̃2 solve differ by %g", trial, mat.Norm2(diff))
+		}
+	}
+}
+
+func TestGt2SolveComplexAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 3
+	sys := testSystem(rng, n, true)
+	r, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := BuildGt2Dense(sys)
+	nn := n + n*n
+	tau := 0.2 + 1.4i
+	rhs := make([]complex128, nn)
+	for i := range rhs {
+		rhs[i] = complex(2*rng.Float64()-1, 2*rng.Float64()-1)
+	}
+	got, err := r.Gt2Solver().SolveShiftedC(tau, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense residual: (G̃2 − τI)·got − rhs.
+	res := make([]complex128, nn)
+	gd.Complex().MulVec(res, got)
+	for i := range res {
+		res[i] -= tau*got[i] + rhs[i]
+	}
+	if mat.CNorm2(res) > 1e-8 {
+		t.Fatalf("complex G̃2 residual %g", mat.CNorm2(res))
+	}
+}
+
+func TestSolveKronAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 3
+	sys := testSystem(rng, n, true)
+	r, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := BuildGt2Dense(sys)
+	big := kron.SumDense(sys.G1, gd) // G1 ⊕ G̃2
+	nn := big.R
+	sigma := 0.15
+	v := mat.RandVec(rng, nn)
+	got, err := r.SolveKron(sigma, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := big.Clone()
+	for i := 0; i < nn; i++ {
+		shifted.Add(i, i, -sigma)
+	}
+	want, err := lu.Solve(shifted, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := make([]float64, nn)
+	mat.SubVec(diff, got, want)
+	if mat.Norm2(diff) > 1e-7*(1+mat.Norm2(want)) {
+		t.Fatalf("G1⊕G̃2 solve differs from dense by %g", mat.Norm2(diff))
+	}
+}
+
+func TestEvalAssocH2AgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 4; trial++ {
+		n := 3 + rng.Intn(4)
+		sys := testSystem(rng, n, trial%2 == 0)
+		r, err := New(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := volterra.NewOracle(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := o.AssocH2(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []complex128{0.9, 0.3 + 2i, -0.1 + 0.7i, 5} {
+			got, err := r.EvalAssocH2(0, 0, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := pf.Eval(s)
+			if d := cdiff(got, want); d > 1e-7*(1+mat.CNorm2(want)) {
+				t.Fatalf("trial %d s=%v: realization vs oracle differ by %g", trial, s, d)
+			}
+		}
+	}
+}
+
+func TestEvalAssocH3AgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3; trial++ {
+		n := 3 + rng.Intn(3)
+		sys := testSystem(rng, n, true)
+		r, err := New(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := volterra.NewOracle(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := o.AssocH3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []complex128{1.1, 0.4 + 1.3i, 3} {
+			got, err := r.EvalAssocH3(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := pf.Eval(s)
+			if d := cdiff(got, want); d > 1e-6*(1+mat.CNorm2(want)) {
+				t.Fatalf("trial %d s=%v: A3(H3) realization vs oracle differ by %g", trial, s, d)
+			}
+		}
+	}
+}
+
+func TestOracleResidueSumIsD1b(t *testing.T) {
+	// h2(0,0) = D1·b — the identity behind the D1²b term of A3(H3).
+	rng := rand.New(rand.NewSource(6))
+	sys := testSystem(rng, 5, true)
+	o, err := volterra.NewOracle(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := o.AssocH2(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pf.SumResidues()
+	want := make([]float64, sys.N)
+	sys.D1[0].MulVec(want, sys.B.Col(0))
+	for i := range got {
+		if cmplx.Abs(got[i]-complex(want[i], 0)) > 1e-7 {
+			t.Fatalf("Σ residues component %d: %v vs D1b %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDiagonalKernelAgainstExpm(t *testing.T) {
+	// h2(t,t) = c̃2·e^{G̃2·t}·b̃2 (dense matrix exponential) must match the
+	// inverse Laplace of the oracle PF: Σ res_m·e^{μ_m·t}.
+	rng := rand.New(rand.NewSource(7))
+	sys := testSystem(rng, 3, true)
+	o, err := volterra.NewOracle(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := o.AssocH2(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := New(sys)
+	gd := BuildGt2Dense(sys)
+	bt := r.Btilde2(0, 0)
+	for _, tt := range []float64{0.1, 0.5, 1.5} {
+		e := mat.Expm(gd.Clone().Scale(tt))
+		full := make([]float64, len(bt))
+		e.MulVec(full, bt)
+		want := full[:sys.N]
+		got := make([]complex128, sys.N)
+		for m, mu := range pf.Poles {
+			em := cmplx.Exp(mu * complex(tt, 0))
+			for i, res := range pf.Res[m] {
+				got[i] += res * em
+			}
+		}
+		for i := range want {
+			if cmplx.Abs(got[i]-complex(want[i], 0)) > 1e-7 {
+				t.Fatalf("t=%v comp %d: PF %v vs expm %v", tt, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEvalAssocH3CubicAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 4
+	g3b := sparse.NewBuilder(n, n*n*n)
+	for i := 0; i < 2*n; i++ {
+		g3b.Add(rng.Intn(n), rng.Intn(n*n*n), 0.3*(2*rng.Float64()-1))
+	}
+	sys := &qldae.System{
+		N:  n,
+		G1: mat.RandStable(rng, n, 0.4),
+		G3: g3b.Build(),
+		B:  mat.RandDense(rng, n, 1),
+		L:  mat.RandDense(rng, 1, n),
+	}
+	r, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := kron.NewSumSolver3(sys.G1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := volterra.NewOracle(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := o.AssocH3Cubic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []complex128{0.8, 0.2 + 1.1i} {
+		got, err := r.EvalAssocH3Cubic(s3, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pf.Eval(s)
+		if d := cdiff(got, want); d > 1e-7*(1+mat.CNorm2(want)) {
+			t.Fatalf("s=%v: cubic A3(H3) differs from oracle by %g", s, d)
+		}
+	}
+}
+
+func TestEvalH1MatchesVolterra(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sys := testSystem(rng, 6, false)
+	r, _ := New(sys)
+	s := 0.3 + 0.9i
+	got, err := r.EvalH1(0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := volterra.H1(sys, 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cdiff(got, want); d > 1e-10 {
+		t.Fatalf("H1 mismatch %g", d)
+	}
+}

@@ -1,0 +1,135 @@
+package assoc
+
+import (
+	"math/rand"
+	"testing"
+
+	"avtmor/internal/mat"
+	"avtmor/internal/qr"
+)
+
+func TestSolvePiResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 3; trial++ {
+		sys := testSystem(rng, 4+trial, trial%2 == 0)
+		r, err := New(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := r.SolvePi()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := r.PiResidual(pi); res > 1e-8 {
+			t.Fatalf("trial %d: Π residual %g", trial, res)
+		}
+	}
+}
+
+func TestSolvePiDiagonalizes(t *testing.T) {
+	// With Π in hand, Eq. (18) says the transformed realization is block
+	// diagonal: verify H2(s) = (sI−G1)⁻¹(D1b − Πb²) + Π(sI−⊕²G1)⁻¹b²
+	// against the block-triangular evaluation at sample points.
+	rng := rand.New(rand.NewSource(22))
+	sys := testSystem(rng, 5, true)
+	r, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := r.SolvePi()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sys.N
+	bt := r.Btilde2(0, 0)
+	top, b2 := bt[:n], bt[n:]
+	for _, s := range []complex128{0.7, 0.2 + 1.1i} {
+		want, err := r.EvalAssocH2(0, 0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Subsystem 1: (sI−G1)⁻¹(top − Π·b²).
+		seed := make([]float64, n)
+		pi.MulVec(seed, b2)
+		mat.ScaleVec(-1, seed)
+		mat.Axpy(1, top, seed)
+		f, err := r.shiftedCLU(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x1 := mat.ToComplex(seed)
+		f.Solve(x1, x1)
+		for i := range x1 {
+			x1[i] = -x1[i] // (sI−G1)⁻¹ = −(G1−sI)⁻¹
+		}
+		// Subsystem 2: Π·(sI−⊕²G1)⁻¹·b².
+		w, err := r.S2.SolveC(s, mat.ToComplex(b2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex128, n)
+		piC := pi.Complex()
+		piC.MulVec(got, w)
+		for i := range got {
+			got[i] = x1[i] - got[i] // minus: (sI−⊕²G1)⁻¹ = −solver result
+		}
+		if d := cdiff(got, want); d > 1e-7*(1+mat.CNorm2(want)) {
+			t.Fatalf("s=%v: decoupled H2 differs from block-triangular by %g", s, d)
+		}
+	}
+}
+
+func TestH2CandidatesDecoupledSpansSameSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sys := testSystem(rng, 6, true)
+	r, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k2 = 3
+	blockPath, err := r.H2Candidates(k2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoupled, err := r.H2CandidatesDecoupled(k2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoupled) < len(blockPath) {
+		t.Fatalf("decoupled path produced fewer candidates (%d < %d)", len(decoupled), len(blockPath))
+	}
+	// Every block-path vector must lie in the decoupled span (the
+	// decoupled set splits the same sums into separate chains).
+	basis := qr.Orthonormalize(decoupled, 1e-12)
+	for k, v := range blockPath {
+		coef := make([]float64, basis.C)
+		basis.MulVecT(coef, v)
+		rec := make([]float64, len(v))
+		basis.MulVec(rec, coef)
+		mat.Axpy(-1, v, rec)
+		if mat.Norm2(rec) > 1e-6 {
+			t.Fatalf("block-path candidate %d outside decoupled span (residual %g)", k, mat.Norm2(rec))
+		}
+	}
+}
+
+func TestDecoupledFallsBackWithoutG2(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	n := 5
+	sys := testSystem(rng, n, true)
+	sys.G2 = nil
+	r, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := r.H2CandidatesDecoupled(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cand) == 0 {
+		t.Fatal("expected D1-only H2 candidates via fallback")
+	}
+	if _, err := r.SolvePi(); err == nil {
+		t.Fatal("SolvePi without G2 must error")
+	}
+}

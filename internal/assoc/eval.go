@@ -1,0 +1,137 @@
+package assoc
+
+import (
+	"avtmor/internal/kron"
+	"avtmor/internal/mat"
+)
+
+// Transfer-function evaluation of the associated transforms at a complex
+// frequency s, through the structured solvers (never forming G̃2). These
+// are the quantities the verification suite compares against the analytic
+// oracle of package volterra.
+
+// EvalH1 computes H1(s) = (sI − G1)⁻¹·b_in.
+func (r *Realization) EvalH1(in int, s complex128) ([]complex128, error) {
+	f, err := r.shiftedCLU(s)
+	if err != nil {
+		return nil, err
+	}
+	// (G1 − sI)⁻¹(−b) = (sI − G1)⁻¹ b.
+	n := r.Sys.N
+	rhs := make([]complex128, n)
+	for i, v := range r.Sys.B.Col(in) {
+		rhs[i] = complex(-v, 0)
+	}
+	f.Solve(rhs, rhs)
+	return rhs, nil
+}
+
+// EvalAssocH2 computes A2(H2⁽ⁱʲ⁾)(s) = c̃2·(sI − G̃2)⁻¹·b̃2⁽ⁱʲ⁾ (Eq. 17).
+func (r *Realization) EvalAssocH2(i, j int, s complex128) ([]complex128, error) {
+	n := r.Sys.N
+	bt := mat.ToComplex(r.Btilde2(i, j))
+	// (sI − G̃2)⁻¹ b̃2 = −(G̃2 − sI)⁻¹ b̃2.
+	z, err := r.gt2.SolveShiftedC(s, bt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = -z[k]
+	}
+	return out, nil
+}
+
+// EvalAssocH3 computes A3(H3)(s) = (sI−G1)⁻¹·(G2·H̃3(s) + D1²·b) for a
+// SISO quadratic QLDAE (§2.2). H̃3 is assembled from one (G1⊕G̃2)-solve
+// using the transpose symmetry of the two subsystems.
+func (r *Realization) EvalAssocH3(s complex128) ([]complex128, error) {
+	sys := r.Sys
+	if sys.Inputs() != 1 {
+		return nil, errNotSISO
+	}
+	n := sys.N
+	n2 := n + n*n
+	// v = b ⊗ b̃2, stored as n columns of length n+n².
+	bt := r.Btilde2(0, 0)
+	b := sys.B.Col(0)
+	v := make([]complex128, n*n2)
+	for p := 0; p < n; p++ {
+		if b[p] == 0 {
+			continue
+		}
+		col := v[p*n2 : (p+1)*n2]
+		for q, w := range bt {
+			col[q] = complex(b[p]*w, 0)
+		}
+	}
+	// (sI − G1⊕G̃2)⁻¹ v = −(G1⊕G̃2 − sI)⁻¹ v.
+	z, err := r.SolveKronC(s, v)
+	if err != nil {
+		return nil, err
+	}
+	// First subsystem output: y1 = vec(c̃2·X); second: y2 = vec((c̃2·X)ᵀ).
+	h3t := make([]complex128, n*n)
+	for jcol := 0; jcol < n; jcol++ {
+		for irow := 0; irow < n; irow++ {
+			top := -z[jcol*n2+irow] // minus from the resolvent sign flip
+			h3t[jcol*n+irow] += top
+			h3t[irow*n+jcol] += top
+		}
+	}
+	// G2·H̃3 + D1²b.
+	rhs := make([]complex128, n)
+	if sys.G2 != nil {
+		r.Sys.G2.MulVecC(rhs, h3t)
+	}
+	if sys.D1 != nil && sys.D1[0] != nil {
+		d1b := make([]float64, n)
+		sys.D1[0].MulVec(d1b, b)
+		d1d1b := make([]float64, n)
+		sys.D1[0].MulVec(d1d1b, d1b)
+		for k := range rhs {
+			rhs[k] += complex(d1d1b[k], 0)
+		}
+	}
+	// (sI − G1)⁻¹ rhs = −(G1 − sI)⁻¹ rhs.
+	f, err := r.shiftedCLU(s)
+	if err != nil {
+		return nil, err
+	}
+	f.Solve(rhs, rhs)
+	for k := range rhs {
+		rhs[k] = -rhs[k]
+	}
+	return rhs, nil
+}
+
+// EvalAssocH3Cubic computes A3(H3)(s) = (sI−G1)⁻¹·G3·(sI−⊕³G1)⁻¹·b^{3⊗}
+// for a SISO cubic system (Corollary 1 + property (8)).
+func (r *Realization) EvalAssocH3Cubic(s3 *kron.SumSolver3, s complex128) ([]complex128, error) {
+	sys := r.Sys
+	if sys.Inputs() != 1 || sys.G3 == nil {
+		return nil, errNotSISO
+	}
+	n := sys.N
+	b := sys.B.Col(0)
+	b3 := kron.VecKron(kron.VecKron(b, b), b)
+	z, err := s3.SolveC(s, mat.ToComplex(b3))
+	if err != nil {
+		return nil, err
+	}
+	rhs := make([]complex128, n)
+	tmp := make([]complex128, len(z))
+	for i, v := range z {
+		tmp[i] = -v
+	}
+	sys.G3.MulVecC(rhs, tmp)
+	f, err := r.shiftedCLU(s)
+	if err != nil {
+		return nil, err
+	}
+	f.Solve(rhs, rhs)
+	for k := range rhs {
+		rhs[k] = -rhs[k]
+	}
+	return rhs, nil
+}

@@ -1,0 +1,263 @@
+package assoc
+
+import (
+	"fmt"
+
+	"avtmor/internal/arnoldi"
+	"avtmor/internal/kron"
+	"avtmor/internal/mat"
+)
+
+// Moment-space generation for the proposed NMOR scheme (§2.3): one Krylov
+// subspace per Volterra order, all in the single associated variable s.
+// Every vector returned lives in the original n-dimensional state space.
+
+// H1Moments returns the k1 shift-inverted Krylov vectors
+// {M⁻¹b, …, M^{−k1}b} per input, M = G1 − s0·I (iterates are normalized;
+// spans are unchanged).
+func (r *Realization) H1Moments(k1 int, s0 float64) ([][]float64, error) {
+	if k1 <= 0 {
+		return nil, nil
+	}
+	f, err := r.shiftedLU(s0)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]float64
+	for in := 0; in < r.Sys.Inputs(); in++ {
+		w := r.Sys.B.Col(in)
+		for k := 0; k < k1; k++ {
+			next := make([]float64, len(w))
+			f.Solve(next, w)
+			if n2 := mat.Norm2(next); n2 > 0 {
+				mat.ScaleVec(1/n2, next)
+			}
+			out = append(out, next)
+			w = next
+		}
+	}
+	return out, nil
+}
+
+// H2Candidates runs k2 steps of block Arnoldi on (G̃2 − s0·I)⁻¹ in the
+// (n+n²)-dimensional realization space, starting from the b̃2 columns of
+// every unordered input pair, and returns the top-n blocks of the
+// orthonormal iterates. Those blocks span the state-moment space of
+// A2(H2)(s) about s0 (the orthonormalization is a triangular change of
+// basis, which the block extraction commutes with).
+func (r *Realization) H2Candidates(k2 int, s0 float64) ([][]float64, error) {
+	if k2 <= 0 {
+		return nil, nil
+	}
+	sys := r.Sys
+	if sys.G2 == nil && sys.D1 == nil {
+		return nil, nil // H2 ≡ 0
+	}
+	n := sys.N
+	var start [][]float64
+	var solveErr error
+	for i := 0; i < sys.Inputs(); i++ {
+		for j := i; j < sys.Inputs(); j++ {
+			bt := r.Btilde2(i, j)
+			if mat.Norm2(bt) == 0 {
+				continue
+			}
+			w, err := r.gt2.SolveShifted(s0, bt)
+			if err != nil {
+				return nil, err
+			}
+			start = append(start, w)
+		}
+	}
+	if len(start) == 0 {
+		return nil, nil
+	}
+	op := arnoldi.FuncOp{N: r.gt2.Dim(), F: func(dst, src []float64) {
+		w, err := r.gt2.SolveShifted(s0, src)
+		if err != nil {
+			solveErr = err
+			mat.Zero(dst)
+			return
+		}
+		copy(dst, w)
+	}}
+	res := arnoldi.Krylov(op, start, k2, 0)
+	if solveErr != nil {
+		return nil, solveErr
+	}
+	if res.V == nil {
+		return nil, nil
+	}
+	var out [][]float64
+	for c := 0; c < res.V.C; c++ {
+		col := res.V.Col(c)
+		top := mat.CopyVec(col[:n])
+		if n2 := mat.Norm2(top); n2 > 1e-14 {
+			mat.ScaleVec(1/n2, top)
+			out = append(out, top)
+		}
+	}
+	return out, nil
+}
+
+// H3Moments returns the exact state-moment vectors m_0 … m_{k3−1} of
+// A3(H3)(s) about s0 for a SISO quadratic QLDAE:
+//
+//	m_k = Σ_{i+j=k} M^{−(i+1)}·G2·out_j − M^{−(k+1)}·D1²b,
+//
+// where out_j is the symmetrized output of the j-th resolvent power of
+// the H̃3 realization (one (G1⊕G̃2 − s0·I)-solve per j).
+func (r *Realization) H3Moments(k3 int, s0 float64) ([][]float64, error) {
+	if k3 <= 0 {
+		return nil, nil
+	}
+	sys := r.Sys
+	if sys.Inputs() != 1 {
+		return nil, errNotSISO
+	}
+	if sys.G2 == nil && (sys.D1 == nil || sys.D1[0] == nil) {
+		return nil, nil // H3 of the quadratic branch vanishes
+	}
+	n := sys.N
+	n2 := n + n*n
+	f, err := r.shiftedLU(s0)
+	if err != nil {
+		return nil, err
+	}
+	// w_j = G2·out_j for j = 0..k3-1.
+	ws := make([][]float64, 0, k3)
+	if sys.G2 != nil {
+		bt := r.Btilde2(0, 0)
+		b := sys.B.Col(0)
+		z := make([]float64, n*n2)
+		for p := 0; p < n; p++ {
+			if b[p] == 0 {
+				continue
+			}
+			col := z[p*n2 : (p+1)*n2]
+			for q, v := range bt {
+				col[q] = b[p] * v
+			}
+		}
+		h3t := make([]float64, n*n)
+		for j := 0; j < k3; j++ {
+			z, err = r.SolveKron(s0, z)
+			if err != nil {
+				return nil, fmt.Errorf("assoc: H3 resolvent power %d: %w", j+1, err)
+			}
+			mat.Zero(h3t)
+			for jcol := 0; jcol < n; jcol++ {
+				for irow := 0; irow < n; irow++ {
+					top := z[jcol*n2+irow]
+					h3t[jcol*n+irow] += top
+					h3t[irow*n+jcol] += top
+				}
+			}
+			w := make([]float64, n)
+			sys.G2.MulVec(w, h3t)
+			ws = append(ws, w)
+		}
+	}
+	// d2 = D1²·b.
+	var d2 []float64
+	if sys.D1 != nil && sys.D1[0] != nil {
+		b := sys.B.Col(0)
+		d1b := make([]float64, n)
+		sys.D1[0].MulVec(d1b, b)
+		d2 = make([]float64, n)
+		sys.D1[0].MulVec(d2, d1b)
+	}
+	// Table c[j][i] = M^{−(i+1)}·w_j.
+	table := make([][][]float64, len(ws))
+	for j := range ws {
+		cur := ws[j]
+		for i := 0; i+j < k3; i++ {
+			next := make([]float64, n)
+			f.Solve(next, cur)
+			table[j] = append(table[j], next)
+			cur = next
+		}
+	}
+	// d-term powers M^{−(k+1)}·d2.
+	var dpow [][]float64
+	if d2 != nil {
+		cur := d2
+		for k := 0; k < k3; k++ {
+			next := make([]float64, n)
+			f.Solve(next, cur)
+			dpow = append(dpow, next)
+			cur = next
+		}
+	}
+	out := make([][]float64, 0, k3)
+	for k := 0; k < k3; k++ {
+		m := make([]float64, n)
+		for j := 0; j <= k && j < len(table); j++ {
+			mat.Axpy(1, table[j][k-j], m)
+		}
+		if dpow != nil {
+			mat.Axpy(-1, dpow[k], m)
+		}
+		if n2v := mat.Norm2(m); n2v > 0 {
+			mat.ScaleVec(1/n2v, m)
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// H3MomentsCubic returns the exact state-moment vectors of the cubic
+// associated transform A3(H3)(s) = (sI−G1)⁻¹G3(sI−⊕³G1)⁻¹b^{3⊗}:
+//
+//	m_k = Σ_{i+j=k} M^{−(i+1)}·G3·N3^{−(j+1)}·b^{3⊗},  N3 = ⊕³G1 − s0·I.
+func (r *Realization) H3MomentsCubic(s3 *kron.SumSolver3, k3 int, s0 float64) ([][]float64, error) {
+	if k3 <= 0 {
+		return nil, nil
+	}
+	sys := r.Sys
+	if sys.Inputs() != 1 {
+		return nil, errNotSISO
+	}
+	if sys.G3 == nil {
+		return nil, nil
+	}
+	n := sys.N
+	f, err := r.shiftedLU(s0)
+	if err != nil {
+		return nil, err
+	}
+	b := sys.B.Col(0)
+	z := kron.VecKron(kron.VecKron(b, b), b)
+	ws := make([][]float64, 0, k3)
+	for j := 0; j < k3; j++ {
+		z, err = s3.Solve(s0, z)
+		if err != nil {
+			return nil, fmt.Errorf("assoc: cubic resolvent power %d: %w", j+1, err)
+		}
+		w := make([]float64, n)
+		sys.G3.MulVec(w, z)
+		ws = append(ws, w)
+	}
+	table := make([][][]float64, len(ws))
+	for j := range ws {
+		cur := ws[j]
+		for i := 0; i+j < k3; i++ {
+			next := make([]float64, n)
+			f.Solve(next, cur)
+			table[j] = append(table[j], next)
+			cur = next
+		}
+	}
+	out := make([][]float64, 0, k3)
+	for k := 0; k < k3; k++ {
+		m := make([]float64, n)
+		for j := 0; j <= k; j++ {
+			mat.Axpy(1, table[j][k-j], m)
+		}
+		if n2v := mat.Norm2(m); n2v > 0 {
+			mat.ScaleVec(1/n2v, m)
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}

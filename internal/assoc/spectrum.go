@@ -1,0 +1,49 @@
+package assoc
+
+// Spectral structure of the associated realizations (§4, third bullet):
+// the Eq.-(17) realization is block triangular, so its spectrum is the
+// union of eig(G1) and eig(⊕²G1) = {λi + λj} — computable from the one
+// cached Schur form, never forming G̃2. Consequently a Hurwitz G1 makes
+// every associated single-s realization Hurwitz: the cascade
+// decomposition "allows insightful interpretation of stability … of the
+// original nonlinear model".
+
+// SpectrumGt2 returns the eigenvalues of the (n+n²)-dimensional Eq.-(17)
+// matrix G̃2: eig(G1) followed by all pairwise sums λi + λj.
+func (r *Realization) SpectrumGt2() []complex128 {
+	lam := r.Schur().Eigenvalues()
+	n := len(lam)
+	out := make([]complex128, 0, n+n*n)
+	out = append(out, lam...)
+	for _, a := range lam {
+		for _, b := range lam {
+			out = append(out, a+b)
+		}
+	}
+	return out
+}
+
+// SpectrumKron3 returns the eigenvalues of the H̃3 operator G1⊕G̃2:
+// every sum λp + μ with μ ∈ eig(G̃2), i.e. {λp+λi, λp+λi+λj}.
+func (r *Realization) SpectrumKron3() []complex128 {
+	lam := r.Schur().Eigenvalues()
+	g2spec := r.SpectrumGt2()
+	out := make([]complex128, 0, len(lam)*len(g2spec))
+	for _, p := range lam {
+		for _, mu := range g2spec {
+			out = append(out, p+mu)
+		}
+	}
+	return out
+}
+
+// IsHurwitz reports whether every eigenvalue of the given spectrum has
+// real part below −margin.
+func IsHurwitz(spec []complex128, margin float64) bool {
+	for _, e := range spec {
+		if real(e) >= -margin {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package assoc
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"avtmor/internal/schur"
+)
+
+func TestSpectrumGt2MatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sys := testSystem(rng, 4, true)
+	r, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.SpectrumGt2()
+	want, err := schur.Eigenvalues(BuildGt2Dense(sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("count %d vs %d", len(got), len(want))
+	}
+	// Multiset comparison by greedy nearest matching (sorting alone
+	// cannot tie-break conjugate pairs whose real parts differ by ulps).
+	used := make([]bool, len(want))
+	for i, g := range got {
+		best, bestD := -1, 1e300
+		for j, w := range want {
+			if used[j] {
+				continue
+			}
+			if d := cmplx.Abs(g - w); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best < 0 || bestD > 1e-6*(1+cmplx.Abs(g)) {
+			t.Fatalf("eigenvalue %d (%v): nearest unmatched is off by %g", i, g, bestD)
+		}
+		used[best] = true
+	}
+}
+
+func TestStabilityInheritance(t *testing.T) {
+	// §4 bullet 3: a Hurwitz G1 makes every associated realization
+	// Hurwitz — the whole single-s cascade is stable by construction.
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 4; trial++ {
+		sys := testSystem(rng, 3+trial, trial%2 == 0)
+		r, err := New(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsHurwitz(r.Schur().Eigenvalues(), 0) {
+			t.Fatal("test system not Hurwitz; vacuous")
+		}
+		if !IsHurwitz(r.SpectrumGt2(), 0) {
+			t.Fatal("G̃2 lost stability")
+		}
+		if !IsHurwitz(r.SpectrumKron3(), 0) {
+			t.Fatal("G1⊕G̃2 lost stability")
+		}
+	}
+}
+
+func TestSpectrumKron3Count(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	sys := testSystem(rng, 3, false)
+	r, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sys.N
+	if got := len(r.SpectrumKron3()); got != n*(n+n*n) {
+		t.Fatalf("Kron3 spectrum size %d, want %d", got, n*(n+n*n))
+	}
+}
+
+func TestIsHurwitzMargin(t *testing.T) {
+	spec := []complex128{-1, -0.5 + 2i}
+	if !IsHurwitz(spec, 0.4) {
+		t.Fatal("should pass at margin 0.4")
+	}
+	if IsHurwitz(spec, 0.6) {
+		t.Fatal("should fail at margin 0.6")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+
+	"avtmor/internal/assoc"
+	"avtmor/internal/kron"
+	"avtmor/internal/mat"
+)
+
+// Verification helpers: evaluate the output-side transfer functions
+// L·H1(s), L·A2(H2)(s), L·A3(H3)(s) of the full model and the ROM at a
+// frequency s and report the relative deviation. Near the expansion point
+// the deviation decays like |s−s0|^k for k matched moments; away from it
+// the curves quantify ROM fidelity (this is how EXPERIMENTS.md tabulates
+// "paper vs measured" accuracy).
+
+type evalPair struct {
+	full *assoc.Realization
+	red  *assoc.Realization
+	s3f  *kron.SumSolver3
+	s3r  *kron.SumSolver3
+}
+
+func (r *ROM) pair() (*evalPair, error) {
+	if r.cache != nil {
+		return r.cache, nil
+	}
+	full, err := assoc.New(r.Full)
+	if err != nil {
+		return nil, err
+	}
+	red, err := assoc.New(r.Sys)
+	if err != nil {
+		return nil, err
+	}
+	p := &evalPair{full: full, red: red}
+	if r.Full.G3 != nil {
+		if p.s3f, err = kron.NewSumSolver3(r.Full.G1); err != nil {
+			return nil, err
+		}
+		if p.s3r, err = kron.NewSumSolver3(r.Sys.G1); err != nil {
+			return nil, err
+		}
+	}
+	r.cache = p
+	return p, nil
+}
+
+// relOutErr maps two state-space vectors through the respective output
+// maps and returns the relative output difference.
+func (r *ROM) relOutErr(xf, xr []complex128) float64 {
+	lf := r.Full.L.Complex()
+	lr := r.Sys.L.Complex()
+	yf := make([]complex128, lf.R)
+	yr := make([]complex128, lr.R)
+	lf.MulVec(yf, xf)
+	lr.MulVec(yr, xr)
+	den := mat.CNorm2(yf)
+	if den == 0 {
+		return mat.CNorm2(yr)
+	}
+	d := make([]complex128, len(yf))
+	for i := range d {
+		d[i] = yf[i] - yr[i]
+	}
+	return mat.CNorm2(d) / den
+}
+
+// H1Error returns the relative output error of H1 at s (input column in).
+func (r *ROM) H1Error(in int, s complex128) (float64, error) {
+	p, err := r.pair()
+	if err != nil {
+		return 0, err
+	}
+	xf, err := p.full.EvalH1(in, s)
+	if err != nil {
+		return 0, err
+	}
+	xr, err := p.red.EvalH1(in, s)
+	if err != nil {
+		return 0, err
+	}
+	return r.relOutErr(xf, xr), nil
+}
+
+// H2Error returns the relative output error of A2(H2) for input pair
+// (i, j) at s.
+func (r *ROM) H2Error(i, j int, s complex128) (float64, error) {
+	p, err := r.pair()
+	if err != nil {
+		return 0, err
+	}
+	xf, err := p.full.EvalAssocH2(i, j, s)
+	if err != nil {
+		return 0, err
+	}
+	xr, err := p.red.EvalAssocH2(i, j, s)
+	if err != nil {
+		return 0, err
+	}
+	return r.relOutErr(xf, xr), nil
+}
+
+// H3Error returns the relative output error of A3(H3) at s (SISO systems;
+// uses the quadratic or the cubic branch automatically).
+func (r *ROM) H3Error(s complex128) (float64, error) {
+	if r.Full.Inputs() != 1 {
+		return 0, errors.New("core: H3Error is SISO only")
+	}
+	p, err := r.pair()
+	if err != nil {
+		return 0, err
+	}
+	var xf, xr []complex128
+	if r.Full.G3 != nil {
+		xf, err = p.full.EvalAssocH3Cubic(p.s3f, s)
+		if err != nil {
+			return 0, err
+		}
+		xr, err = p.red.EvalAssocH3Cubic(p.s3r, s)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		xf, err = p.full.EvalAssocH3(s)
+		if err != nil {
+			return 0, err
+		}
+		xr, err = p.red.EvalAssocH3(s)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return r.relOutErr(xf, xr), nil
+}

@@ -1,0 +1,163 @@
+// Package exper regenerates every table and figure of the paper's
+// evaluation (§3): transient comparisons Figs. 2–5, the runtime comparison
+// Table 1, and the §4 subspace-growth ablation. cmd/avtmor prints the
+// reports and writes the figure series as CSV; bench_test.go wraps the
+// same entry points in testing.B benchmarks; EXPERIMENTS.md records the
+// measured outcomes against the paper's.
+package exper
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"avtmor/internal/circuits"
+	"avtmor/internal/core"
+	"avtmor/internal/ode"
+	"avtmor/internal/qldae"
+)
+
+// Report is the result of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	// Lines is the human-readable summary (one finding per line).
+	Lines []string
+	// CSV holds the figure series (first row is the header); nil for
+	// table-only experiments.
+	CSV [][]string
+	// Metrics exposes scalar outcomes for tests and benches.
+	Metrics map[string]float64
+}
+
+func (r *Report) addLine(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) metric(k string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[k] = v
+}
+
+// simulate runs the workload-appropriate integrator on sys.
+func simulate(w *circuits.Workload, sys *qldae.System) (*ode.Result, time.Duration, error) {
+	x0 := make([]float64, sys.N)
+	start := time.Now()
+	var res *ode.Result
+	var err error
+	if w.Stiff {
+		res, err = ode.Trapezoidal(sys, x0, w.U, w.TEnd, w.Steps)
+	} else {
+		res = ode.RK4(sys, x0, w.U, w.TEnd, w.Steps)
+	}
+	return res, time.Since(start), err
+}
+
+// transientCompare reduces the workload with the given methods, simulates
+// everything, and fills the common parts of a report. The returned
+// results map holds "full", "prop", and optionally "norm" trajectories.
+func transientCompare(rep *Report, w *circuits.Workload, opt core.Options, withNORM bool) (map[string]*ode.Result, error) {
+	full, tFull, err := simulate(w, w.Sys)
+	if err != nil {
+		return nil, fmt.Errorf("%s: full simulation: %w", rep.ID, err)
+	}
+	rep.metric("full_order", float64(w.Sys.N))
+	rep.metric("full_ode_ms", float64(tFull.Milliseconds()))
+
+	prop, err := core.Reduce(w.Sys, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: Reduce: %w", rep.ID, err)
+	}
+	propRes, tProp, err := simulate(w, prop.Sys)
+	if err != nil {
+		return nil, fmt.Errorf("%s: proposed ROM simulation: %w", rep.ID, err)
+	}
+	rep.metric("prop_order", float64(prop.Order()))
+	rep.metric("prop_arnoldi_ms", float64(prop.Stats.Build.Milliseconds()))
+	rep.metric("prop_ode_ms", float64(tProp.Milliseconds()))
+	rep.metric("prop_maxrelerr", ode.MaxRelErr(full, propRes, 0))
+
+	out := map[string]*ode.Result{"full": full, "prop": propRes}
+	if withNORM {
+		nm, err := core.ReduceNORM(w.Sys, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: ReduceNORM: %w", rep.ID, err)
+		}
+		nmRes, tNorm, err := simulate(w, nm.Sys)
+		if err != nil {
+			return nil, fmt.Errorf("%s: NORM ROM simulation: %w", rep.ID, err)
+		}
+		rep.metric("norm_order", float64(nm.Order()))
+		rep.metric("norm_arnoldi_ms", float64(nm.Stats.Build.Milliseconds()))
+		rep.metric("norm_ode_ms", float64(tNorm.Milliseconds()))
+		rep.metric("norm_maxrelerr", ode.MaxRelErr(full, nmRes, 0))
+		out["norm"] = nmRes
+	}
+
+	rep.addLine("full model: n = %d, ODE solve %v", w.Sys.N, tFull.Round(time.Millisecond))
+	rep.addLine("proposed ROM: q = %d (from %d candidates), build %v, ODE solve %v, max rel err %.3g",
+		prop.Order(), prop.Stats.Candidates, prop.Stats.Build.Round(time.Millisecond),
+		tProp.Round(time.Millisecond), rep.Metrics["prop_maxrelerr"])
+	if withNORM {
+		rep.addLine("NORM ROM: q = %.0f, build %.0f ms, ODE solve %.0f ms, max rel err %.3g",
+			rep.Metrics["norm_order"], rep.Metrics["norm_arnoldi_ms"],
+			rep.Metrics["norm_ode_ms"], rep.Metrics["norm_maxrelerr"])
+	}
+	return out, nil
+}
+
+// buildCSV samples the trajectories onto the full model's grid (thinned to
+// at most maxRows rows).
+func buildCSV(results map[string]*ode.Result, order []string, maxRows int) [][]string {
+	full := results["full"]
+	stride := 1
+	if len(full.T) > maxRows {
+		stride = len(full.T) / maxRows
+	}
+	header := []string{"t", "y_full"}
+	for _, name := range order {
+		if name == "full" {
+			continue
+		}
+		if _, ok := results[name]; ok {
+			header = append(header, "y_"+name, "relerr_"+name)
+		}
+	}
+	csv := [][]string{header}
+	peak := 0.0
+	for _, y := range full.Y {
+		if a := y[0]; a > peak {
+			peak = a
+		} else if -a > peak {
+			peak = -a
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	for k := 0; k < len(full.T); k += stride {
+		t := full.T[k]
+		row := []string{fmtF(t), fmtF(full.Y[k][0])}
+		for _, name := range order {
+			if name == "full" {
+				continue
+			}
+			res, ok := results[name]
+			if !ok {
+				continue
+			}
+			y := res.OutputAt(t, 0)
+			e := full.Y[k][0] - y
+			if e < 0 {
+				e = -e
+			}
+			row = append(row, fmtF(y), fmtF(e/peak))
+		}
+		csv = append(csv, row)
+	}
+	return csv
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

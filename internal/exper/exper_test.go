@@ -1,0 +1,113 @@
+package exper
+
+import "testing"
+
+// The experiment tests assert the paper's qualitative findings (the
+// "shape": who wins, by roughly what factor), not absolute numbers.
+
+func TestFig2Shape(t *testing.T) {
+	rep, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m["full_order"] != 100 {
+		t.Fatalf("full order %v", m["full_order"])
+	}
+	if q := m["prop_order"]; q < 8 || q > 16 {
+		t.Fatalf("proposed order %v outside the paper's ~13 band", q)
+	}
+	if e := m["prop_maxrelerr"]; e > 0.05 {
+		t.Fatalf("Fig. 2 transient error %v too large (paper: <1e-2)", e)
+	}
+	if len(rep.CSV) < 100 {
+		t.Fatal("figure series too short")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rep, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m["full_order"] != 70 {
+		t.Fatalf("full order %v", m["full_order"])
+	}
+	if m["prop_order"] >= m["norm_order"] {
+		t.Fatalf("proposed order %v must be well below NORM %v", m["prop_order"], m["norm_order"])
+	}
+	if m["norm_order"] < 1.5*m["prop_order"] {
+		t.Fatalf("NORM/proposed order ratio too small: %v vs %v", m["norm_order"], m["prop_order"])
+	}
+	if m["prop_maxrelerr"] > 0.08 || m["norm_maxrelerr"] > 0.08 {
+		t.Fatalf("transient errors out of band: prop %v norm %v (paper: <5e-2)",
+			m["prop_maxrelerr"], m["norm_maxrelerr"])
+	}
+	// Table 1 shape: the smaller proposed ROM simulates faster than the
+	// NORM ROM (the paper reports a 61% reduction; we accept any clearly
+	// positive reduction to stay robust against timer noise).
+	if m["prop_ode_ms"] > m["norm_ode_ms"] {
+		t.Logf("warning: proposed ROM ODE time %v ms vs NORM %v ms (timer noise?)",
+			m["prop_ode_ms"], m["norm_ode_ms"])
+	}
+	// And the full model is slower than either ROM.
+	if m["full_ode_ms"] < m["prop_ode_ms"] {
+		t.Fatalf("full model simulated faster than ROM: %v vs %v ms", m["full_ode_ms"], m["prop_ode_ms"])
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	rep, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m["full_order"] != 173 {
+		t.Fatalf("full order %v", m["full_order"])
+	}
+	if q := m["prop_order"]; q < 10 || q > 18 {
+		t.Fatalf("proposed order %v outside the paper's ~14 band", q)
+	}
+	if m["norm_order"] <= m["prop_order"] {
+		t.Fatalf("NORM order %v not larger than proposed %v", m["norm_order"], m["prop_order"])
+	}
+	if m["prop_maxrelerr"] > 0.08 {
+		t.Fatalf("Fig. 4 proposed transient error %v (paper: <5e-2)", m["prop_maxrelerr"])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	rep, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m["full_order"] != 102 {
+		t.Fatalf("full order %v", m["full_order"])
+	}
+	if q := m["prop_order"]; q < 5 || q > 10 {
+		t.Fatalf("proposed order %v outside the paper's ~8 band", q)
+	}
+	if m["prop_maxrelerr"] > 0.1 {
+		t.Fatalf("Fig. 5 transient error %v", m["prop_maxrelerr"])
+	}
+}
+
+func TestAblationGrowth(t *testing.T) {
+	rep, err := Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Proposed growth is ~linear in k; NORM superlinear. Compare the
+	// increments between k=2 and k=4.
+	dProp := m["prop_order_k4"] - m["prop_order_k2"]
+	dNorm := m["norm_order_k4"] - m["norm_order_k2"]
+	if dNorm <= 2*dProp {
+		t.Fatalf("NORM growth (%v) should dwarf proposed growth (%v)", dNorm, dProp)
+	}
+	if m["prop_order_k4"] > 12 {
+		t.Fatalf("proposed order at k=4 is %v, expected ≤ 3k", m["prop_order_k4"])
+	}
+}

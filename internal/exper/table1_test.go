@@ -1,0 +1,65 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Assembled(t *testing.T) {
+	rep, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rep.Lines, "\n")
+	for _, want := range []string{"Sect. 3.2 example", "Sect. 3.3 example", "Arnoldi", "ODE solve", "ROM order"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("table missing %q:\n%s", want, joined)
+		}
+	}
+	// Prefixed metrics from both blocks must be present.
+	for _, key := range []string{"fig3_prop_order", "fig3_norm_order", "fig4_prop_order", "fig4_full_ode_ms"} {
+		if _, ok := rep.Metrics[key]; !ok {
+			t.Fatalf("missing metric %q", key)
+		}
+	}
+	// Table-1 shapes: proposed pays more build time than NORM, and both
+	// ROMs beat the full model's ODE-solve time.
+	if rep.Metrics["fig3_prop_arnoldi_ms"] < rep.Metrics["fig3_norm_arnoldi_ms"] {
+		t.Fatalf("proposed build (%v ms) should exceed NORM build (%v ms)",
+			rep.Metrics["fig3_prop_arnoldi_ms"], rep.Metrics["fig3_norm_arnoldi_ms"])
+	}
+	if rep.Metrics["fig3_prop_ode_ms"] > rep.Metrics["fig3_full_ode_ms"] {
+		t.Fatalf("proposed ROM ODE (%v ms) should beat full model (%v ms)",
+			rep.Metrics["fig3_prop_ode_ms"], rep.Metrics["fig3_full_ode_ms"])
+	}
+	if rep.Metrics["fig4_prop_ode_ms"] > rep.Metrics["fig4_full_ode_ms"] {
+		t.Fatalf("fig4 proposed ROM ODE (%v ms) should beat full model (%v ms)",
+			rep.Metrics["fig4_prop_ode_ms"], rep.Metrics["fig4_full_ode_ms"])
+	}
+}
+
+func TestCSVWellFormed(t *testing.T) {
+	rep, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CSV) < 2 {
+		t.Fatal("empty CSV")
+	}
+	width := len(rep.CSV[0])
+	if width < 4 {
+		t.Fatalf("header too narrow: %v", rep.CSV[0])
+	}
+	for i, row := range rep.CSV {
+		if len(row) != width {
+			t.Fatalf("row %d has %d fields, want %d", i, len(row), width)
+		}
+	}
+	// Header must announce full, proposed, and NORM series.
+	h := strings.Join(rep.CSV[0], ",")
+	for _, want := range []string{"t", "y_full", "y_prop", "relerr_prop", "y_norm", "relerr_norm"} {
+		if !strings.Contains(h, want) {
+			t.Fatalf("header missing %q: %s", want, h)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package kron
+
+import (
+	"math"
+	"math/cmplx"
+
+	"avtmor/internal/schur"
+)
+
+func cmplxSqrt(z complex128) complex128 { return cmplx.Sqrt(z) }
+
+// ShiftedSolver abstracts an operator L through its shifted resolvent:
+// SolveShifted computes (L − τI)⁻¹·rhs. Implementations in this repo:
+// SumSolver2 (L = ⊕²G1) and assoc's G̃2 solver (L = the block-triangular
+// realization matrix of Eq. (17)).
+type ShiftedSolver interface {
+	// Dim is the dimension L acts on.
+	Dim() int
+	// SolveShifted computes (L − τI)⁻¹ rhs for real τ.
+	SolveShifted(tau float64, rhs []float64) ([]float64, error)
+	// SolveShiftedC computes (L − τI)⁻¹ rhs for complex τ.
+	SolveShiftedC(tau complex128, rhs []complex128) ([]complex128, error)
+}
+
+// Solve and SolveC of SumSolver2 already have the right shape; expose the
+// interface explicitly.
+func (ss *SumSolver2) SolveShifted(tau float64, rhs []float64) ([]float64, error) {
+	return ss.Solve(tau, rhs)
+}
+
+// SolveShiftedC implements ShiftedSolver.
+func (ss *SumSolver2) SolveShiftedC(tau complex128, rhs []complex128) ([]complex128, error) {
+	return ss.SolveC(tau, rhs)
+}
+
+// Dim implements ShiftedSolver: SumSolver2 acts on length-n² vectors.
+func (ss *SumSolver2) Dim() int { return ss.n * ss.n }
+
+// ColumnSylvester solves the operator Sylvester equation
+//
+//	L(X) + X·Aᵀ − σ·X = V,   X ∈ R^{N×n},
+//
+// given a ShiftedSolver for L and the real Schur form A = Q·R·Qᵀ. X and V
+// are stored column-stacked (vec). This is the outer recurrence of the
+// paper's §2.3 solver stack: after the right-side Schur transform, each
+// column block needs one shifted L-solve (complexified across 2×2 blocks).
+func ColumnSylvester(op ShiftedSolver, sa *schur.Schur, sigma float64, v []float64) ([]float64, error) {
+	nn := op.Dim()
+	n := sa.T.R
+	if len(v) != nn*n {
+		panic("kron: ColumnSylvester length mismatch")
+	}
+	r := sa.T
+	vt := rightMulCols(v, sa.Q, nn)
+	xt := make([]float64, nn*n)
+	blks := sa.Blocks()
+	for bi := len(blks) - 1; bi >= 0; bi-- {
+		l0, ln := blks[bi][0], blks[bi][1]
+		rhs := make([][]float64, ln)
+		for p := 0; p < ln; p++ {
+			w := make([]float64, nn)
+			copy(w, vt[(l0+p)*nn:(l0+p+1)*nn])
+			for k := l0 + ln; k < n; k++ {
+				rlk := r.At(l0+p, k)
+				if rlk == 0 {
+					continue
+				}
+				xk := xt[k*nn : (k+1)*nn]
+				for i := range w {
+					w[i] -= rlk * xk[i]
+				}
+			}
+			rhs[p] = w
+		}
+		if ln == 1 {
+			x, err := op.SolveShifted(sigma-r.At(l0, l0), rhs[0])
+			if err != nil {
+				return nil, err
+			}
+			copy(xt[l0*nn:(l0+1)*nn], x)
+			continue
+		}
+		// Standardized 2×2 block [[α,β],[γ,α]], βγ<0: complexify into one
+		// complex solve (L − (σ−α−iμ)I)·(x_p + i·s·x_q) = w_p + i·s·w_q
+		// with μ = √(−βγ), s = −β/μ.
+		alpha := r.At(l0, l0)
+		beta := r.At(l0, l0+1)
+		gamma := r.At(l0+1, l0)
+		mu := math.Sqrt(-beta * gamma)
+		sc := -beta / mu
+		w := make([]complex128, nn)
+		for i := range w {
+			w[i] = complex(rhs[0][i], sc*rhs[1][i])
+		}
+		z, err := op.SolveShiftedC(complex(sigma-alpha, -mu), w)
+		if err != nil {
+			return nil, err
+		}
+		xp := xt[l0*nn : (l0+1)*nn]
+		xq := xt[(l0+1)*nn : (l0+2)*nn]
+		for i, zi := range z {
+			xp[i] = real(zi)
+			xq[i] = imag(zi) / sc
+		}
+	}
+	return rightMulCols(xt, sa.Q.T(), nn), nil
+}
+
+// ColumnSylvesterC is the fully complex variant of ColumnSylvester
+// (complex σ and V): 2×2 blocks are decoupled by diagonalizing the block
+// coupling instead of conjugate complexification.
+func ColumnSylvesterC(op ShiftedSolver, sa *schur.Schur, sigma complex128, v []complex128) ([]complex128, error) {
+	nn := op.Dim()
+	n := sa.T.R
+	if len(v) != nn*n {
+		panic("kron: ColumnSylvesterC length mismatch")
+	}
+	r := sa.T
+	vt := rightMulColsC(v, sa.Q, nn)
+	xt := make([]complex128, nn*n)
+	blks := sa.Blocks()
+	for bi := len(blks) - 1; bi >= 0; bi-- {
+		l0, ln := blks[bi][0], blks[bi][1]
+		rhs := make([][]complex128, ln)
+		for p := 0; p < ln; p++ {
+			w := make([]complex128, nn)
+			copy(w, vt[(l0+p)*nn:(l0+p+1)*nn])
+			for k := l0 + ln; k < n; k++ {
+				rlk := complex(r.At(l0+p, k), 0)
+				if rlk == 0 {
+					continue
+				}
+				xk := xt[k*nn : (k+1)*nn]
+				for i := range w {
+					w[i] -= rlk * xk[i]
+				}
+			}
+			rhs[p] = w
+		}
+		if ln == 1 {
+			x, err := op.SolveShiftedC(sigma-complex(r.At(l0, l0), 0), rhs[0])
+			if err != nil {
+				return nil, err
+			}
+			copy(xt[l0*nn:(l0+1)*nn], x)
+			continue
+		}
+		alpha := complex(r.At(l0, l0), 0)
+		beta := complex(r.At(l0, l0+1), 0)
+		gamma := complex(r.At(l0+1, l0), 0)
+		m := cmplxSqrt(beta * gamma)
+		w1 := make([]complex128, nn)
+		w2 := make([]complex128, nn)
+		for i := 0; i < nn; i++ {
+			wp, wq := rhs[0][i], rhs[1][i]
+			w1[i] = wp*gamma + wq*m
+			w2[i] = wp*gamma - wq*m
+		}
+		y1, err := op.SolveShiftedC(sigma-(alpha+m), w1)
+		if err != nil {
+			return nil, err
+		}
+		y2, err := op.SolveShiftedC(sigma-(alpha-m), w2)
+		if err != nil {
+			return nil, err
+		}
+		det := -2 * gamma * m
+		xp := xt[l0*nn : (l0+1)*nn]
+		xq := xt[(l0+1)*nn : (l0+2)*nn]
+		for i := 0; i < nn; i++ {
+			xp[i] = (y1[i]*(-m) + y2[i]*(-m)) / det
+			xq[i] = (y1[i]*(-gamma) + y2[i]*gamma) / det
+		}
+	}
+	return rightMulColsC(xt, sa.Q.T(), nn), nil
+}

@@ -1,0 +1,116 @@
+package lu
+
+import (
+	"errors"
+	"math/cmplx"
+
+	"avtmor/internal/mat"
+)
+
+// CLU holds a complex LU factorization with partial pivoting. The shifted
+// solves (G1 − σI)⁻¹ with complex σ — needed for quasi-triangular blocks
+// with complex eigenvalue pairs and for transfer-function evaluation on the
+// jω axis — all route through this type.
+type CLU struct {
+	lu  *mat.CDense
+	piv []int
+}
+
+// FactorC computes the LU factorization of a complex matrix.
+func FactorC(a *mat.CDense) (*CLU, error) {
+	if a.R != a.C {
+		return nil, errors.New("lu: matrix must be square")
+	}
+	n := a.R
+	f := &CLU{lu: a.Clone(), piv: make([]int, n)}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	w := f.lu
+	for k := 0; k < n; k++ {
+		p, best := k, cmplx.Abs(w.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(w.At(i, k)); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rp := w.A[p*n : (p+1)*n]
+			rk := w.A[k*n : (k+1)*n]
+			for j := range rp {
+				rp[j], rk[j] = rk[j], rp[j]
+			}
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+		}
+		inv := 1 / w.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := w.At(i, k) * inv
+			w.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			ri := w.A[i*n : (i+1)*n]
+			rk := w.A[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// ShiftedReal factors (a + σI) for a real matrix a and complex shift σ.
+func ShiftedReal(a *mat.Dense, sigma complex128) (*CLU, error) {
+	c := a.Complex()
+	for i := 0; i < a.R; i++ {
+		c.Set(i, i, c.At(i, i)+sigma)
+	}
+	return FactorC(c)
+}
+
+// N returns the matrix dimension.
+func (f *CLU) N() int { return f.lu.R }
+
+// Solve computes x with A x = b (dst may alias b).
+func (f *CLU) Solve(dst, b []complex128) {
+	n := f.N()
+	if len(b) != n || len(dst) != n {
+		panic("lu: CLU Solve length mismatch")
+	}
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	w := f.lu
+	for i := 1; i < n; i++ {
+		row := w.A[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := w.A[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	copy(dst, x)
+}
+
+// SolveC is a convenience one-shot complex solve.
+func SolveC(a *mat.CDense, b []complex128) ([]complex128, error) {
+	f, err := FactorC(a)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]complex128, len(b))
+	f.Solve(x, b)
+	return x, nil
+}

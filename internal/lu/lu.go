@@ -1,0 +1,167 @@
+// Package lu implements LU factorization with partial pivoting for dense
+// real and complex matrices, with solve, inverse, and determinant helpers.
+//
+// Shift-invert Krylov iteration (paper §2.3: "expanding at s = 0 ... at the
+// expense of computing the matrix factorization (e.g., LU) of G1 for once")
+// needs exactly this: factor once, back-solve many times.
+package lu
+
+import (
+	"errors"
+	"math"
+
+	"avtmor/internal/mat"
+)
+
+// ErrSingular is returned when a pivot vanishes (to working precision the
+// matrix is not invertible).
+var ErrSingular = errors.New("lu: matrix is singular")
+
+// LU holds a factorization P·A = L·U of a real square matrix.
+type LU struct {
+	lu   *mat.Dense
+	piv  []int // row i of lu came from row piv[i] of A
+	sign float64
+}
+
+// Factor computes the LU factorization of a. The input is not modified.
+func Factor(a *mat.Dense) (*LU, error) {
+	if a.R != a.C {
+		return nil, errors.New("lu: matrix must be square")
+	}
+	n := a.R
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	w := f.lu
+	for k := 0; k < n; k++ {
+		p, best := k, math.Abs(w.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(w.At(i, k)); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			swapRows(w, p, k)
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+			f.sign = -f.sign
+		}
+		inv := 1 / w.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := w.At(i, k) * inv
+			w.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			ri, rk := w.Row(i), w.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// N returns the matrix dimension.
+func (f *LU) N() int { return f.lu.R }
+
+// Solve computes x with A x = b, writing into dst (dst may alias b).
+func (f *LU) Solve(dst, b []float64) {
+	n := f.N()
+	if len(b) != n || len(dst) != n {
+		panic("lu: Solve length mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	w := f.lu
+	for i := 1; i < n; i++ {
+		row := w.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := w.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	copy(dst, x)
+}
+
+// SolveMat solves A X = B column by column.
+func (f *LU) SolveMat(b *mat.Dense) *mat.Dense {
+	if b.R != f.N() {
+		panic("lu: SolveMat shape mismatch")
+	}
+	x := mat.NewDense(b.R, b.C)
+	col := make([]float64, b.R)
+	for j := 0; j < b.C; j++ {
+		for i := 0; i < b.R; i++ {
+			col[i] = b.At(i, j)
+		}
+		f.Solve(col, col)
+		x.SetCol(j, col)
+	}
+	return x
+}
+
+// Inverse returns A⁻¹.
+func (f *LU) Inverse() *mat.Dense {
+	return f.SolveMat(mat.Eye(f.N()))
+}
+
+// MinAbsPivot returns the smallest |U_ii| of the factorization — a cheap
+// near-singularity witness: for a structurally rank-deficient matrix it
+// sits at rounding level relative to the matrix scale.
+func (f *LU) MinAbsPivot() float64 {
+	n := f.N()
+	if n == 0 {
+		return 0
+	}
+	m := math.Abs(f.lu.At(0, 0))
+	for i := 1; i < n; i++ {
+		if v := math.Abs(f.lu.At(i, i)); v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Det returns det(A).
+func (f *LU) Det() float64 {
+	d := f.sign
+	n := f.N()
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve is a convenience one-shot solve of A x = b.
+func Solve(a *mat.Dense, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	f.Solve(x, b)
+	return x, nil
+}
+
+func swapRows(m *mat.Dense, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

@@ -1,0 +1,112 @@
+package mat
+
+import "math"
+
+// Expm returns the matrix exponential e^M computed by scaling and squaring
+// with a diagonal Padé(6,6) approximant. It is used by the test suite to
+// verify Kronecker-sum identities (e^{A⊕B} = e^A ⊗ e^B, the engine behind
+// Theorem 1 of the paper); accuracy on the well-scaled test matrices is far
+// below the test tolerances.
+func Expm(m *Dense) *Dense {
+	if m.R != m.C {
+		panic("mat: Expm needs a square matrix")
+	}
+	n := m.R
+	// Scale so that ||A/2^s||_1 <= 0.5.
+	norm := m.Norm1()
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+	}
+	a := m.Clone().Scale(math.Pow(2, -float64(s)))
+
+	// Padé(6,6): N(A) = sum c_k A^k, D(A) = sum (-1)^k c_k A^k.
+	c := padeCoeffs(6)
+	pow := Eye(n) // A^k, starting at k = 0
+	num := Eye(n).Scale(c[0])
+	den := Eye(n).Scale(c[0])
+	sign := 1.0
+	for k := 1; k <= 6; k++ {
+		pow = pow.Mul(a)
+		sign = -sign
+		num.AddScaled(c[k], pow)
+		den.AddScaled(sign*c[k], pow)
+	}
+	x := solveDense(den, num)
+	for i := 0; i < s; i++ {
+		x = x.Mul(x)
+	}
+	return x
+}
+
+func padeCoeffs(q int) []float64 {
+	c := make([]float64, q+1)
+	c[0] = 1
+	for k := 1; k <= q; k++ {
+		c[k] = c[k-1] * float64(q-k+1) / float64(k*(2*q-k+1))
+	}
+	return c
+}
+
+// solveDense solves A X = B by Gaussian elimination with partial pivoting.
+// A local copy so that mat does not depend on package lu (which depends on
+// mat). Only used by Expm; sizes are small.
+func solveDense(a, b *Dense) *Dense {
+	n := a.R
+	if a.C != n || b.R != n {
+		panic("mat: solveDense shape mismatch")
+	}
+	lu := a.Clone()
+	x := b.Clone()
+	for k := 0; k < n; k++ {
+		// Pivot.
+		p, best := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 {
+			panic("mat: solveDense singular matrix")
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			swapRows(x, p, k)
+		}
+		piv := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / piv
+			if f == 0 {
+				continue
+			}
+			lu.Set(i, k, 0)
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -f*lu.At(k, j))
+			}
+			for j := 0; j < x.C; j++ {
+				x.Add(i, j, -f*x.At(k, j))
+			}
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		piv := lu.At(k, k)
+		for j := 0; j < x.C; j++ {
+			s := x.At(k, j)
+			for i := k + 1; i < n; i++ {
+				s -= lu.At(k, i) * x.At(i, j)
+			}
+			x.Set(k, j, s/piv)
+		}
+	}
+	return x
+}
+
+func swapRows(m *Dense, i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

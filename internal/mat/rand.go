@@ -1,0 +1,49 @@
+package mat
+
+import "math/rand"
+
+// Test-support generators. They live in the main package (not _test) because
+// several downstream packages' tests and benchmarks share them.
+
+// RandDense returns an r×c matrix with entries uniform in [-1, 1).
+func RandDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.A {
+		m.A[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// RandVec returns a length-n vector with entries uniform in [-1, 1).
+func RandVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 2*rng.Float64() - 1
+	}
+	return v
+}
+
+// RandStable returns an n×n matrix whose eigenvalues all have real part
+// below -margin: a random matrix shifted left by its Gershgorin radius.
+// Such matrices model the G1 of a dissipative circuit and guarantee the
+// solvability condition λi+λj+λk ≠ 0 used by the Sylvester decoupling.
+func RandStable(rng *rand.Rand, n int, margin float64) *Dense {
+	m := RandDense(rng, n, n)
+	for i := 0; i < n; i++ {
+		radius := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				radius += abs(m.At(i, j))
+			}
+		}
+		m.Set(i, i, -radius-margin-abs(m.At(i, i)))
+	}
+	return m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

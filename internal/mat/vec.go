@@ -1,0 +1,108 @@
+package mat
+
+import "math"
+
+// Vector kernels on []float64. All functions panic on length mismatch,
+// mirroring the matrix API.
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	// Scaled accumulation to dodge overflow on extreme inputs.
+	scale, ssq := 0.0, 1.0
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the max-abs element of x.
+func NormInf(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec multiplies x by a in place.
+func ScaleVec(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// CopyVec returns a copy of x.
+func CopyVec(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// SubVec computes dst = x - y.
+func SubVec(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mat: SubVec length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// AddVec computes dst = x + y.
+func AddVec(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("mat: AddVec length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// Zero clears x.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Basis returns the length-n unit vector e_i.
+func Basis(n, i int) []float64 {
+	v := make([]float64, n)
+	v[i] = 1
+	return v
+}

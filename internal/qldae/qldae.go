@@ -1,0 +1,276 @@
+// Package qldae models quadratic-linear differential-algebraic systems
+//
+//	C·x' = G1·x + G2·(x⊗x) + G3·(x⊗x⊗x) + Σ_i D1_i·x·u_i + B·u,   y = L·x
+//
+// — Eq. (1)/(2) of the paper, extended with the cubic term of §3.4 and
+// multi-input structure (§3.3). An invertible C is absorbed by
+// Regularize, matching the paper's trimmed form (2).
+package qldae
+
+import (
+	"errors"
+	"fmt"
+
+	"avtmor/internal/lu"
+	"avtmor/internal/mat"
+	"avtmor/internal/sparse"
+)
+
+// System is a (regularized) QLDAE in the trimmed form (2): x' = G1 x +
+// G2 (x⊗x) + G3 (x⊗x⊗x) + Σ D1_i x u_i + B u, y = L x. Any of G2, G3,
+// D1 may be nil.
+type System struct {
+	N  int          // state dimension
+	G1 *mat.Dense   // n×n
+	G2 *sparse.CSR  // n×n², nil if absent
+	G3 *sparse.CSR  // n×n³, nil if absent
+	D1 []*mat.Dense // one n×n block per input, nil entries/slice if absent
+	B  *mat.Dense   // n×m
+	L  *mat.Dense   // p×n output map
+}
+
+// Inputs returns the input count m.
+func (s *System) Inputs() int { return s.B.C }
+
+// Outputs returns the output count p.
+func (s *System) Outputs() int { return s.L.R }
+
+// Validate checks dimensional consistency.
+func (s *System) Validate() error {
+	n := s.N
+	if s.G1 == nil || s.G1.R != n || s.G1.C != n {
+		return fmt.Errorf("qldae: G1 must be %d×%d", n, n)
+	}
+	if s.G2 != nil && (s.G2.Rows != n || s.G2.Cols != n*n) {
+		return fmt.Errorf("qldae: G2 must be %d×%d, got %d×%d", n, n*n, s.G2.Rows, s.G2.Cols)
+	}
+	if s.G3 != nil && (s.G3.Rows != n || s.G3.Cols != n*n*n) {
+		return fmt.Errorf("qldae: G3 must be %d×%d", n, n*n*n)
+	}
+	if s.B == nil || s.B.R != n || s.B.C < 1 {
+		return errors.New("qldae: B must have n rows and at least one column")
+	}
+	if s.D1 != nil && len(s.D1) != s.B.C {
+		return fmt.Errorf("qldae: D1 must have one block per input (%d), got %d", s.B.C, len(s.D1))
+	}
+	for i, d := range s.D1 {
+		if d != nil && (d.R != n || d.C != n) {
+			return fmt.Errorf("qldae: D1[%d] must be %d×%d", i, n, n)
+		}
+	}
+	if s.L == nil || s.L.C != n || s.L.R < 1 {
+		return errors.New("qldae: L must have n columns and at least one row")
+	}
+	return nil
+}
+
+// Regularize absorbs an invertible descriptor matrix C, returning the
+// trimmed system with every coefficient pre-multiplied by C⁻¹ (the
+// paper's reduction from (1) to (2) for regular systems).
+func Regularize(c *mat.Dense, s *System) (*System, error) {
+	f, err := lu.Factor(c)
+	if err != nil {
+		return nil, fmt.Errorf("qldae: descriptor matrix not invertible: %w", err)
+	}
+	out := &System{N: s.N, L: s.L.Clone()}
+	out.G1 = f.SolveMat(s.G1)
+	out.B = f.SolveMat(s.B)
+	if s.G2 != nil {
+		out.G2 = solveCSR(f, s.G2)
+	}
+	if s.G3 != nil {
+		out.G3 = solveCSR(f, s.G3)
+	}
+	if s.D1 != nil {
+		out.D1 = make([]*mat.Dense, len(s.D1))
+		for i, d := range s.D1 {
+			if d != nil {
+				out.D1[i] = f.SolveMat(d)
+			}
+		}
+	}
+	return out, nil
+}
+
+// solveCSR computes C⁻¹·M for a sparse M, returning a sparse result
+// (column-by-column dense solves over the nonzero columns only).
+func solveCSR(f *lu.LU, m *sparse.CSR) *sparse.CSR {
+	n := f.N()
+	// Group nonzeros by column.
+	colEntries := map[int][]sparse.Coord{}
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.ColIdx[k]
+			colEntries[c] = append(colEntries[c], sparse.Coord{Row: r, Col: c, Val: m.Val[k]})
+		}
+	}
+	b := sparse.NewBuilder(m.Rows, m.Cols)
+	col := make([]float64, n)
+	for c, es := range colEntries {
+		mat.Zero(col)
+		for _, e := range es {
+			col[e.Row] += e.Val
+		}
+		f.Solve(col, col)
+		for i, v := range col {
+			if v != 0 {
+				b.Add(i, c, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Eval computes dst = RHS(x, u).
+func (s *System) Eval(dst, x, u []float64) {
+	if len(x) != s.N || len(dst) != s.N || len(u) != s.Inputs() {
+		panic("qldae: Eval length mismatch")
+	}
+	s.G1.MulVec(dst, x)
+	if s.G2 != nil {
+		s.G2.QuadAddApply(dst, 1, x, x)
+	}
+	if s.G3 != nil {
+		cube := make([]float64, s.N)
+		s.G3.CubeApply(cube, x)
+		mat.Axpy(1, cube, dst)
+	}
+	tmp := make([]float64, s.N)
+	for i, d := range s.D1 {
+		if d == nil || u[i] == 0 {
+			continue
+		}
+		d.MulVec(tmp, x)
+		mat.Axpy(u[i], tmp, dst)
+	}
+	for i := 0; i < s.Inputs(); i++ {
+		if u[i] == 0 {
+			continue
+		}
+		for r := 0; r < s.N; r++ {
+			dst[r] += s.B.At(r, i) * u[i]
+		}
+	}
+}
+
+// Jacobian returns ∂RHS/∂x at (x, u) as a dense matrix.
+func (s *System) Jacobian(x, u []float64) *mat.Dense {
+	j := s.G1.Clone()
+	if s.G2 != nil {
+		s.G2.QuadJacobian(j.A, 1, x)
+	}
+	if s.G3 != nil {
+		s.G3.CubeJacobian(j.A, 1, x)
+	}
+	for i, d := range s.D1 {
+		if d == nil || u[i] == 0 {
+			continue
+		}
+		j.AddScaled(u[i], d)
+	}
+	return j
+}
+
+// Output computes y = L·x.
+func (s *System) Output(x []float64) []float64 {
+	y := make([]float64, s.L.R)
+	s.L.MulVec(y, x)
+	return y
+}
+
+// Project performs the Galerkin reduction x ≈ V·x̂ with column-orthonormal
+// V ∈ R^{n×q}: Ĝ1 = VᵀG1V, Ĝ2 = VᵀG2(V⊗V), Ĝ3 = VᵀG3(V⊗V⊗V),
+// D̂1 = VᵀD1V, B̂ = VᵀB, L̂ = LV.
+func (s *System) Project(v *mat.Dense) *System {
+	if v.R != s.N {
+		panic("qldae: Project basis row mismatch")
+	}
+	q := v.C
+	vt := v.T()
+	out := &System{N: q}
+	out.G1 = vt.Mul(s.G1).Mul(v)
+	out.B = vt.Mul(s.B)
+	out.L = s.L.Mul(v)
+	if s.D1 != nil {
+		out.D1 = make([]*mat.Dense, len(s.D1))
+		for i, d := range s.D1 {
+			if d != nil {
+				out.D1[i] = vt.Mul(d).Mul(v)
+			}
+		}
+	}
+	if s.G2 != nil {
+		out.G2 = projectQuad(s.G2, v)
+	}
+	if s.G3 != nil {
+		out.G3 = projectCube(s.G3, v)
+	}
+	return out
+}
+
+// projectQuad computes Vᵀ·G2·(V⊗V) as a CSR of the dense q×q² result.
+func projectQuad(g2 *sparse.CSR, v *mat.Dense) *sparse.CSR {
+	n, q := v.R, v.C
+	// t = G2·(V⊗V) ∈ R^{n×q²}: row i gets Σ val·V[p,a]·V[r,b] at (a·q+b).
+	t := mat.NewDense(n, q*q)
+	for i := 0; i < g2.Rows; i++ {
+		ti := t.Row(i)
+		for k := g2.RowPtr[i]; k < g2.RowPtr[i+1]; k++ {
+			c := g2.ColIdx[k]
+			p, r := c/n, c%n
+			val := g2.Val[k]
+			vp := v.Row(p)
+			vr := v.Row(r)
+			for a := 0; a < q; a++ {
+				va := val * vp[a]
+				if va == 0 {
+					continue
+				}
+				base := a * q
+				for b := 0; b < q; b++ {
+					ti[base+b] += va * vr[b]
+				}
+			}
+		}
+	}
+	return sparse.FromDense(v.T().Mul(t))
+}
+
+// projectCube computes Vᵀ·G3·(V⊗V⊗V) as a CSR of the dense q×q³ result.
+func projectCube(g3 *sparse.CSR, v *mat.Dense) *sparse.CSR {
+	n, q := v.R, v.C
+	t := mat.NewDense(n, q*q*q)
+	for i := 0; i < g3.Rows; i++ {
+		ti := t.Row(i)
+		for k := g3.RowPtr[i]; k < g3.RowPtr[i+1]; k++ {
+			c := g3.ColIdx[k]
+			p, r, w := c/(n*n), (c/n)%n, c%n
+			val := g3.Val[k]
+			vp, vr, vw := v.Row(p), v.Row(r), v.Row(w)
+			for a := 0; a < q; a++ {
+				va := val * vp[a]
+				if va == 0 {
+					continue
+				}
+				for b := 0; b < q; b++ {
+					vab := va * vr[b]
+					if vab == 0 {
+						continue
+					}
+					base := (a*q + b) * q
+					for cc := 0; cc < q; cc++ {
+						ti[base+cc] += vab * vw[cc]
+					}
+				}
+			}
+		}
+	}
+	return sparse.FromDense(v.T().Mul(t))
+}
+
+// LiftState maps a reduced state back to full coordinates: x = V·x̂.
+func LiftState(v *mat.Dense, xhat []float64) []float64 {
+	x := make([]float64, v.R)
+	v.MulVec(x, xhat)
+	return x
+}

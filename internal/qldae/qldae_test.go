@@ -1,0 +1,223 @@
+package qldae
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"avtmor/internal/kron"
+	"avtmor/internal/mat"
+	"avtmor/internal/qr"
+	"avtmor/internal/sparse"
+)
+
+// randSystem builds a random stable QLDAE with m inputs, with quadratic
+// and bilinear terms.
+func randSystem(rng *rand.Rand, n, m int) *System {
+	g2b := sparse.NewBuilder(n, n*n)
+	for i := 0; i < 3*n; i++ {
+		p, q := rng.Intn(n), rng.Intn(n)
+		g2b.Add(rng.Intn(n), p*n+q, 0.3*(2*rng.Float64()-1))
+	}
+	d1 := make([]*mat.Dense, m)
+	for i := range d1 {
+		d1[i] = mat.RandDense(rng, n, n).Scale(0.2)
+	}
+	return &System{
+		N:  n,
+		G1: mat.RandStable(rng, n, 0.5),
+		G2: g2b.Build(),
+		D1: d1,
+		B:  mat.RandDense(rng, n, m),
+		L:  mat.RandDense(rng, 1, n),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := randSystem(rng, 6, 2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *s
+	bad.B = mat.NewDense(5, 2)
+	if bad.Validate() == nil {
+		t.Fatal("expected B shape error")
+	}
+	bad2 := *s
+	bad2.D1 = bad2.D1[:1]
+	if bad2.Validate() == nil {
+		t.Fatal("expected D1 count error")
+	}
+}
+
+func TestEvalAgainstExplicitKron(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, m := 7, 2
+	s := randSystem(rng, n, m)
+	x := mat.RandVec(rng, n)
+	u := mat.RandVec(rng, m)
+	got := make([]float64, n)
+	s.Eval(got, x, u)
+	// Explicit: G1x + G2(x⊗x) + D1_i x u_i + B u.
+	want := make([]float64, n)
+	s.G1.MulVec(want, x)
+	xx := kron.VecKron(x, x)
+	g2x := make([]float64, n)
+	s.G2.MulVec(g2x, xx)
+	mat.Axpy(1, g2x, want)
+	tmp := make([]float64, n)
+	for i := 0; i < m; i++ {
+		s.D1[i].MulVec(tmp, x)
+		mat.Axpy(u[i], tmp, want)
+	}
+	s.B.MulVec(tmp, u)
+	mat.Axpy(1, tmp, want)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Eval mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJacobianFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 6, 2
+	s := randSystem(rng, n, m)
+	// Add a cubic term too.
+	g3b := sparse.NewBuilder(n, n*n*n)
+	for i := 0; i < n; i++ {
+		g3b.Add(rng.Intn(n), rng.Intn(n*n*n), 0.1*(2*rng.Float64()-1))
+	}
+	s.G3 = g3b.Build()
+	x := mat.RandVec(rng, n)
+	u := mat.RandVec(rng, m)
+	jac := s.Jacobian(x, u)
+	const h = 1e-6
+	f0 := make([]float64, n)
+	s.Eval(f0, x, u)
+	fp := make([]float64, n)
+	for j := 0; j < n; j++ {
+		xp := mat.CopyVec(x)
+		xp[j] += h
+		s.Eval(fp, xp, u)
+		for i := 0; i < n; i++ {
+			fd := (fp[i] - f0[i]) / h
+			if math.Abs(fd-jac.At(i, j)) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("Jacobian (%d,%d): fd %v vs %v", i, j, fd, jac.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRegularize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5
+	s := randSystem(rng, n, 1)
+	// Well-conditioned C.
+	c := mat.RandStable(rng, n, 1)
+	reg, err := Regularize(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C·RHS_reg(x,u) must equal RHS_orig(x,u).
+	x := mat.RandVec(rng, n)
+	u := []float64{0.7}
+	rr := make([]float64, n)
+	reg.Eval(rr, x, u)
+	crr := make([]float64, n)
+	c.MulVec(crr, rr)
+	want := make([]float64, n)
+	s.Eval(want, x, u)
+	for i := range want {
+		if math.Abs(crr[i]-want[i]) > 1e-9 {
+			t.Fatalf("Regularize mismatch at %d: %v vs %v", i, crr[i], want[i])
+		}
+	}
+}
+
+func TestRegularizeSingularC(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randSystem(rng, 3, 1)
+	c := mat.NewDense(3, 3) // singular
+	if _, err := Regularize(c, s); err == nil {
+		t.Fatal("expected error for singular C")
+	}
+}
+
+func TestProjectGalerkinConsistency(t *testing.T) {
+	// For x = V·x̂ the reduced RHS must equal Vᵀ·RHS(V·x̂): exactness of
+	// Galerkin projection on the reduced manifold.
+	rng := rand.New(rand.NewSource(6))
+	n, m, q := 10, 2, 4
+	s := randSystem(rng, n, m)
+	// Add a cubic term to exercise projectCube.
+	g3b := sparse.NewBuilder(n, n*n*n)
+	for i := 0; i < 2*n; i++ {
+		g3b.Add(rng.Intn(n), rng.Intn(n*n*n), 0.05*(2*rng.Float64()-1))
+	}
+	s.G3 = g3b.Build()
+	cols := make([][]float64, q)
+	for i := range cols {
+		cols[i] = mat.RandVec(rng, n)
+	}
+	v := qr.Orthonormalize(cols, 1e-12)
+	rom := s.Project(v)
+	if err := rom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	xhat := mat.RandVec(rng, q)
+	u := mat.RandVec(rng, m)
+	// Reduced RHS.
+	rhat := make([]float64, q)
+	rom.Eval(rhat, xhat, u)
+	// Vᵀ·RHS(V·x̂).
+	x := LiftState(v, xhat)
+	rfull := make([]float64, n)
+	s.Eval(rfull, x, u)
+	want := make([]float64, q)
+	v.MulVecT(want, rfull)
+	for i := range want {
+		if math.Abs(rhat[i]-want[i]) > 1e-9 {
+			t.Fatalf("Galerkin mismatch at %d: %v vs %v", i, rhat[i], want[i])
+		}
+	}
+	// Output map consistency: L̂·x̂ = L·V·x̂.
+	yhat := rom.Output(xhat)
+	y := s.Output(x)
+	if math.Abs(yhat[0]-y[0]) > 1e-10 {
+		t.Fatalf("output mismatch: %v vs %v", yhat[0], y[0])
+	}
+}
+
+func TestProjectIdentityBasis(t *testing.T) {
+	// Projecting with V = I must reproduce the system exactly.
+	rng := rand.New(rand.NewSource(7))
+	n := 6
+	s := randSystem(rng, n, 1)
+	rom := s.Project(mat.Eye(n))
+	x := mat.RandVec(rng, n)
+	u := []float64{0.3}
+	a := make([]float64, n)
+	b := make([]float64, n)
+	s.Eval(a, x, u)
+	rom.Eval(b, x, u)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-10 {
+			t.Fatalf("identity projection mismatch at %d", i)
+		}
+	}
+}
+
+func TestOutputShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := randSystem(rng, 5, 1)
+	s.L = mat.RandDense(rng, 3, 5)
+	y := s.Output(mat.RandVec(rng, 5))
+	if len(y) != 3 {
+		t.Fatalf("output length %d", len(y))
+	}
+	if s.Outputs() != 3 || s.Inputs() != 1 {
+		t.Fatal("dims wrong")
+	}
+}

@@ -1,0 +1,115 @@
+package qldae
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"avtmor/internal/mat"
+	"avtmor/internal/sparse"
+)
+
+// Additional coverage of the descriptor path and state lifting.
+
+func TestRegularizeWithCubicTerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := 5
+	g3b := sparse.NewBuilder(n, n*n*n)
+	for i := 0; i < 2*n; i++ {
+		g3b.Add(rng.Intn(n), rng.Intn(n*n*n), 0.2*(2*rng.Float64()-1))
+	}
+	s := &System{
+		N:  n,
+		G1: mat.RandStable(rng, n, 0.4),
+		G3: g3b.Build(),
+		B:  mat.RandDense(rng, n, 1),
+		L:  mat.RandDense(rng, 1, n),
+	}
+	c := mat.RandStable(rng, n, 1)
+	reg, err := Regularize(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C·RHS_reg = RHS_orig on a random state (cubic path included).
+	x := mat.RandVec(rng, n)
+	u := []float64{0.4}
+	rr := make([]float64, n)
+	reg.Eval(rr, x, u)
+	crr := make([]float64, n)
+	c.MulVec(crr, rr)
+	want := make([]float64, n)
+	s.Eval(want, x, u)
+	for i := range want {
+		if math.Abs(crr[i]-want[i]) > 1e-9 {
+			t.Fatalf("cubic Regularize mismatch at %d: %v vs %v", i, crr[i], want[i])
+		}
+	}
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularizeDiagonalDescriptor(t *testing.T) {
+	// The MNA-typical case: C = diag(capacitances). Regularize must scale
+	// each row by 1/C_i exactly.
+	rng := rand.New(rand.NewSource(62))
+	n := 4
+	s := &System{
+		N:  n,
+		G1: mat.RandStable(rng, n, 0.4),
+		B:  mat.RandDense(rng, n, 1),
+		L:  mat.RandDense(rng, 1, n),
+	}
+	caps := []float64{1, 2, 0.5, 4}
+	c := mat.Diag(caps)
+	reg, err := Regularize(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := s.G1.At(i, j) / caps[i]
+			if math.Abs(reg.G1.At(i, j)-want) > 1e-12 {
+				t.Fatalf("row scaling wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLiftState(t *testing.T) {
+	v := mat.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	x := LiftState(v, []float64{2, 3})
+	want := []float64{2, 3, 5}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("lift wrong at %d: %v", i, x[i])
+		}
+	}
+}
+
+func TestProjectMISO(t *testing.T) {
+	// MIMO projection must reduce B and every D1 block consistently.
+	rng := rand.New(rand.NewSource(63))
+	n, m := 8, 3
+	s := &System{
+		N:  n,
+		G1: mat.RandStable(rng, n, 0.4),
+		B:  mat.RandDense(rng, n, m),
+		L:  mat.RandDense(rng, 2, n),
+		D1: []*mat.Dense{mat.RandDense(rng, n, n).Scale(0.1), nil, mat.RandDense(rng, n, n).Scale(0.1)},
+	}
+	v := mat.NewDense(n, 3)
+	v.Set(0, 0, 1)
+	v.Set(3, 1, 1)
+	v.Set(6, 2, 1)
+	rom := s.Project(v)
+	if rom.Inputs() != m || rom.Outputs() != 2 {
+		t.Fatalf("dims lost: inputs %d outputs %d", rom.Inputs(), rom.Outputs())
+	}
+	if rom.D1[1] != nil {
+		t.Fatal("nil D1 block must stay nil")
+	}
+	if rom.D1[0] == nil || rom.D1[2] == nil {
+		t.Fatal("non-nil D1 blocks must be projected")
+	}
+}

@@ -1,0 +1,173 @@
+package sparse
+
+// Kernels for the Kronecker-power couplings of the QLDAE: a row of
+// G2 ∈ R^{n×n²} indexes column (p·n+q) ↔ the monomial x_p·x_q, matching
+// package kron's (x⊗x)[p·n+q] = x_p·x_q convention; G3 ∈ R^{n×n³} indexes
+// (p·n+q)·n+r ↔ x_p·x_q·x_r.
+
+// quadIndex decodes and caches the (p, q) factor indices of every
+// nonzero for Kronecker-square columns (c = p·n + q). Decoding once
+// removes the per-nonzero integer division from the simulation hot loop.
+func (m *CSR) quadIndex(n int) {
+	if m.qp != nil {
+		return
+	}
+	m.qp = make([]int32, len(m.ColIdx))
+	m.qq = make([]int32, len(m.ColIdx))
+	for k, c := range m.ColIdx {
+		m.qp[k] = int32(c / n)
+		m.qq[k] = int32(c % n)
+	}
+}
+
+// cubeIndex is the Kronecker-cube analogue of quadIndex.
+func (m *CSR) cubeIndex(n int) {
+	if m.cp != nil {
+		return
+	}
+	m.cp = make([]int32, len(m.ColIdx))
+	m.cq = make([]int32, len(m.ColIdx))
+	m.cr = make([]int32, len(m.ColIdx))
+	for k, c := range m.ColIdx {
+		m.cp[k] = int32(c / (n * n))
+		m.cq[k] = int32((c / n) % n)
+		m.cr[k] = int32(c % n)
+	}
+}
+
+// QuadApply computes dst = G2·(x⊗y) without forming x⊗y.
+// n = len(x) = len(y) must satisfy m.Cols == n².
+func (m *CSR) QuadApply(dst, x, y []float64) {
+	n := len(x)
+	if len(y) != n || m.Cols != n*n || len(dst) != m.Rows {
+		panic("sparse: QuadApply length mismatch")
+	}
+	m.quadIndex(n)
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Val[k] * x[m.qp[k]] * y[m.qq[k]]
+		}
+		dst[r] = s
+	}
+}
+
+// QuadAddApply computes dst += a·G2·(x⊗y).
+func (m *CSR) QuadAddApply(dst []float64, a float64, x, y []float64) {
+	n := len(x)
+	if len(y) != n || m.Cols != n*n || len(dst) != m.Rows {
+		panic("sparse: QuadAddApply length mismatch")
+	}
+	m.quadIndex(n)
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Val[k] * x[m.qp[k]] * y[m.qq[k]]
+		}
+		dst[r] += a * s
+	}
+}
+
+// QuadJacobian accumulates ∂/∂x [G2·(x⊗x)] = G2·(I⊗x + x⊗I) into dst
+// (dense n×n row-major, dst[i*n+j] += ...), scaled by a.
+func (m *CSR) QuadJacobian(dst []float64, a float64, x []float64) {
+	n := len(x)
+	if m.Cols != n*n || len(dst) != m.Rows*n {
+		panic("sparse: QuadJacobian length mismatch")
+	}
+	m.quadIndex(n)
+	for r := 0; r < m.Rows; r++ {
+		row := dst[r*n : (r+1)*n]
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			p, q := m.qp[k], m.qq[k]
+			v := a * m.Val[k]
+			row[p] += v * x[q]
+			row[q] += v * x[p]
+		}
+	}
+}
+
+// CubeApply computes dst = G3·(x⊗x⊗x) without forming the Kronecker cube.
+func (m *CSR) CubeApply(dst, x []float64) {
+	n := len(x)
+	if m.Cols != n*n*n || len(dst) != m.Rows {
+		panic("sparse: CubeApply length mismatch")
+	}
+	m.cubeIndex(n)
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Val[k] * x[m.cp[k]] * x[m.cq[k]] * x[m.cr[k]]
+		}
+		dst[r] = s
+	}
+}
+
+// CubeJacobian accumulates a·∂/∂x [G3·(x⊗x⊗x)] into dst (dense n×n
+// row-major): the derivative of x_p·x_q·x_r contributes to columns p, q, r.
+func (m *CSR) CubeJacobian(dst []float64, a float64, x []float64) {
+	n := len(x)
+	if m.Cols != n*n*n || len(dst) != m.Rows*n {
+		panic("sparse: CubeJacobian length mismatch")
+	}
+	m.cubeIndex(n)
+	for r := 0; r < m.Rows; r++ {
+		row := dst[r*n : (r+1)*n]
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			p, q, t := m.cp[k], m.cq[k], m.cr[k]
+			v := a * m.Val[k]
+			row[p] += v * x[q] * x[t]
+			row[q] += v * x[p] * x[t]
+			row[t] += v * x[p] * x[q]
+		}
+	}
+}
+
+// QuadApplyC computes dst = G2·(x⊗y) for complex vectors (the transfer
+// function and oracle paths evaluate at complex frequencies).
+func (m *CSR) QuadApplyC(dst, x, y []complex128) {
+	n := len(x)
+	if len(y) != n || m.Cols != n*n || len(dst) != m.Rows {
+		panic("sparse: QuadApplyC length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		var s complex128
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.ColIdx[k]
+			s += complex(m.Val[k], 0) * x[c/n] * y[c%n]
+		}
+		dst[r] = s
+	}
+}
+
+// CubeApplyC computes dst = G3·(x⊗y⊗z) for complex vectors.
+func (m *CSR) CubeApplyC(dst, x, y, z []complex128) {
+	n := len(x)
+	if len(y) != n || len(z) != n || m.Cols != n*n*n || len(dst) != m.Rows {
+		panic("sparse: CubeApplyC length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		var s complex128
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.ColIdx[k]
+			s += complex(m.Val[k], 0) * x[c/(n*n)] * y[(c/n)%n] * z[c%n]
+		}
+		dst[r] = s
+	}
+}
+
+// TriApply computes dst = G3·(x⊗y⊗z) for distinct real vectors.
+func (m *CSR) TriApply(dst, x, y, z []float64) {
+	n := len(x)
+	if len(y) != n || len(z) != n || m.Cols != n*n*n || len(dst) != m.Rows {
+		panic("sparse: TriApply length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.ColIdx[k]
+			s += m.Val[k] * x[c/(n*n)] * y[(c/n)%n] * z[c%n]
+		}
+		dst[r] = s
+	}
+}

@@ -1,0 +1,173 @@
+// Package sparse provides compressed-sparse-row matrices for the circuit
+// matrices of the QLDAE model. The quadratic coupling G2 ∈ R^{n×n²} and
+// cubic coupling G3 ∈ R^{n×n³} are far too large to hold densely, but each
+// row has only a handful of nonzeros (one per nonlinear branch); CSR plus
+// dedicated x⊗x / x⊗x⊗x evaluation kernels keep every RHS evaluation
+// O(nnz) without ever materializing the Kronecker powers.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"avtmor/internal/mat"
+)
+
+// Coord is one COO triplet.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+
+	// Cached Kronecker factor indices of each nonzero (decoded from
+	// ColIdx on first use by the Quad/Cube kernels); see quadIndex and
+	// cubeIndex in quadratic.go.
+	qp, qq     []int32
+	cp, cq, cr []int32
+}
+
+// Builder accumulates COO triplets; duplicate coordinates sum.
+type Builder struct {
+	rows, cols int
+	entries    []Coord
+}
+
+// NewBuilder returns a builder for a rows×cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add accumulates v at (r, c).
+func (b *Builder) Add(r, c int, v float64) {
+	if r < 0 || r >= b.rows || c < 0 || c >= b.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of %d×%d", r, c, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, Coord{r, c, v})
+}
+
+// Build converts to CSR, summing duplicates and dropping exact zeros.
+func (b *Builder) Build() *CSR {
+	sort.Slice(b.entries, func(i, j int) bool {
+		if b.entries[i].Row != b.entries[j].Row {
+			return b.entries[i].Row < b.entries[j].Row
+		}
+		return b.entries[i].Col < b.entries[j].Col
+	})
+	m := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int, b.rows+1)}
+	for i := 0; i < len(b.entries); {
+		j := i
+		v := 0.0
+		for j < len(b.entries) && b.entries[j].Row == b.entries[i].Row && b.entries[j].Col == b.entries[i].Col {
+			v += b.entries[j].Val
+			j++
+		}
+		if v != 0 {
+			m.ColIdx = append(m.ColIdx, b.entries[i].Col)
+			m.Val = append(m.Val, v)
+			m.RowPtr[b.entries[i].Row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < b.rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec computes dst = M·x (dst must not alias x).
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("sparse: MulVec length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		dst[r] = s
+	}
+}
+
+// MulVecC computes dst = M·x for complex x.
+func (m *CSR) MulVecC(dst, x []complex128) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("sparse: MulVecC length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		var s complex128
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += complex(m.Val[k], 0) * x[m.ColIdx[k]]
+		}
+		dst[r] = s
+	}
+}
+
+// AddMulVec computes dst += a·M·x.
+func (m *CSR) AddMulVec(dst []float64, a float64, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("sparse: AddMulVec length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		dst[r] += a * s
+	}
+}
+
+// Dense expands to a dense matrix (small sizes / tests).
+func (m *CSR) Dense() *mat.Dense {
+	d := mat.NewDense(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			d.Add(r, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return d
+}
+
+// FromDense converts a dense matrix, dropping zeros.
+func FromDense(d *mat.Dense) *CSR {
+	b := NewBuilder(d.R, d.C)
+	for i := 0; i < d.R; i++ {
+		for j := 0; j < d.C; j++ {
+			if v := d.At(i, j); v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// T returns the transpose as a new CSR.
+func (m *CSR) T() *CSR {
+	b := NewBuilder(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			b.Add(m.ColIdx[k], r, m.Val[k])
+		}
+	}
+	return b.Build()
+}
+
+// Scale multiplies all values in place and returns m.
+func (m *CSR) Scale(a float64) *CSR {
+	for i := range m.Val {
+		m.Val[i] *= a
+	}
+	return m
+}

@@ -1,0 +1,245 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"avtmor/internal/kron"
+	"avtmor/internal/mat"
+)
+
+func randCSR(rng *rand.Rand, rows, cols, nnz int) *CSR {
+	b := NewBuilder(rows, cols)
+	for i := 0; i < nnz; i++ {
+		b.Add(rng.Intn(rows), rng.Intn(cols), 2*rng.Float64()-1)
+	}
+	return b.Build()
+}
+
+func TestBuildSumsDuplicates(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 1, 1.5)
+	b.Add(0, 1, 2.5)
+	b.Add(1, 0, -1)
+	b.Add(1, 0, 1) // cancels to zero → dropped
+	m := b.Build()
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", m.NNZ())
+	}
+	if m.Dense().At(0, 1) != 4 {
+		t.Fatalf("sum wrong: %v", m.Dense())
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		m := randCSR(rng, rows, cols, rng.Intn(3*rows*cols/2+1))
+		x := mat.RandVec(rng, cols)
+		got := make([]float64, rows)
+		m.MulVec(got, x)
+		want := make([]float64, rows)
+		m.Dense().MulVec(want, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randCSR(rng, 6, 4, 10)
+	x := mat.RandVec(rng, 4)
+	dst := mat.RandVec(rng, 6)
+	orig := mat.CopyVec(dst)
+	m.AddMulVec(dst, 2.0, x)
+	mx := make([]float64, 6)
+	m.MulVec(mx, x)
+	for i := range dst {
+		if math.Abs(dst[i]-(orig[i]+2*mx[i])) > 1e-13 {
+			t.Fatal("AddMulVec wrong")
+		}
+	}
+}
+
+func TestMulVecC(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randCSR(rng, 5, 5, 12)
+	xr := mat.RandVec(rng, 5)
+	xi := mat.RandVec(rng, 5)
+	x := make([]complex128, 5)
+	for i := range x {
+		x[i] = complex(xr[i], xi[i])
+	}
+	got := make([]complex128, 5)
+	m.MulVecC(got, x)
+	wr := make([]float64, 5)
+	wi := make([]float64, 5)
+	m.MulVec(wr, xr)
+	m.MulVec(wi, xi)
+	for i := range got {
+		if math.Abs(real(got[i])-wr[i]) > 1e-13 || math.Abs(imag(got[i])-wi[i]) > 1e-13 {
+			t.Fatal("MulVecC wrong")
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randCSR(rng, 7, 4, 12)
+	if !m.T().Dense().Equalish(m.Dense().T(), 1e-15) {
+		t.Fatal("transpose mismatch")
+	}
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := mat.RandDense(rng, 6, 8)
+	if !FromDense(d).Dense().Equalish(d, 0) {
+		t.Fatal("FromDense round trip failed")
+	}
+}
+
+func TestScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randCSR(rng, 4, 4, 8)
+	want := m.Dense().Scale(3)
+	m.Scale(3)
+	if !m.Dense().Equalish(want, 1e-15) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestQuadApplyAgainstKron(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		g2 := randCSR(rng, n, n*n, 2*n)
+		x := mat.RandVec(rng, n)
+		y := mat.RandVec(rng, n)
+		got := make([]float64, n)
+		g2.QuadApply(got, x, y)
+		want := make([]float64, n)
+		g2.MulVec(want, kron.VecKron(x, y))
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuadAddApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 4
+	g2 := randCSR(rng, n, n*n, 8)
+	x := mat.RandVec(rng, n)
+	dst := mat.RandVec(rng, n)
+	orig := mat.CopyVec(dst)
+	g2.QuadAddApply(dst, -1.5, x, x)
+	q := make([]float64, n)
+	g2.QuadApply(q, x, x)
+	for i := range dst {
+		if math.Abs(dst[i]-(orig[i]-1.5*q[i])) > 1e-13 {
+			t.Fatal("QuadAddApply wrong")
+		}
+	}
+}
+
+func TestQuadJacobianFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 5
+	g2 := randCSR(rng, n, n*n, 12)
+	x := mat.RandVec(rng, n)
+	jac := make([]float64, n*n)
+	g2.QuadJacobian(jac, 1, x)
+	const h = 1e-6
+	f0 := make([]float64, n)
+	g2.QuadApply(f0, x, x)
+	for j := 0; j < n; j++ {
+		xp := mat.CopyVec(x)
+		xp[j] += h
+		fp := make([]float64, n)
+		g2.QuadApply(fp, xp, xp)
+		for i := 0; i < n; i++ {
+			fd := (fp[i] - f0[i]) / h
+			if math.Abs(fd-jac[i*n+j]) > 1e-4 {
+				t.Fatalf("Jacobian (%d,%d): fd %v vs analytic %v", i, j, fd, jac[i*n+j])
+			}
+		}
+	}
+}
+
+func TestCubeApplyAgainstKron(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 3
+	g3 := randCSR(rng, n, n*n*n, 10)
+	x := mat.RandVec(rng, n)
+	got := make([]float64, n)
+	g3.CubeApply(got, x)
+	want := make([]float64, n)
+	g3.MulVec(want, kron.VecKron(kron.VecKron(x, x), x))
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CubeApply mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCubeJacobianFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 4
+	g3 := randCSR(rng, n, n*n*n, 10)
+	x := mat.RandVec(rng, n)
+	jac := make([]float64, n*n)
+	g3.CubeJacobian(jac, 1, x)
+	const h = 1e-6
+	f0 := make([]float64, n)
+	g3.CubeApply(f0, x)
+	for j := 0; j < n; j++ {
+		xp := mat.CopyVec(x)
+		xp[j] += h
+		fp := make([]float64, n)
+		g3.CubeApply(fp, xp)
+		for i := 0; i < n; i++ {
+			fd := (fp[i] - f0[i]) / h
+			if math.Abs(fd-jac[i*n+j]) > 1e-4 {
+				t.Fatalf("cube Jacobian (%d,%d): fd %v vs analytic %v", i, j, fd, jac[i*n+j])
+			}
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func BenchmarkQuadApply100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100
+	g2 := randCSR(rng, n, n*n, 4*n)
+	x := mat.RandVec(rng, n)
+	dst := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g2.QuadApply(dst, x, x)
+	}
+}

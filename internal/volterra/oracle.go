@@ -1,0 +1,261 @@
+package volterra
+
+import (
+	"errors"
+
+	"avtmor/internal/mat"
+	"avtmor/internal/qldae"
+	"avtmor/internal/schur"
+)
+
+// PF is a vector-valued partial-fraction expansion Σ_m Res_m/(s − Pole_m).
+// Poles are not deduplicated; evaluation is a plain sum.
+type PF struct {
+	Poles []complex128
+	Res   [][]complex128
+	n     int
+}
+
+// Eval computes Σ Res_m/(s − Pole_m).
+func (pf *PF) Eval(s complex128) []complex128 {
+	out := make([]complex128, pf.n)
+	for m, p := range pf.Poles {
+		d := s - p
+		for i, r := range pf.Res[m] {
+			out[i] += r / d
+		}
+	}
+	return out
+}
+
+// SumResidues returns Σ_m Res_m, which equals the t→0⁺ value of the
+// associated kernel h(t) (used to cross-check h2(0,0) = D1·b, the origin
+// of the D1²b term in A3(H3)).
+func (pf *PF) SumResidues() []complex128 {
+	out := make([]complex128, pf.n)
+	for _, r := range pf.Res {
+		for i, v := range r {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+func (pf *PF) add(pole complex128, res []complex128) {
+	pf.Poles = append(pf.Poles, pole)
+	pf.Res = append(pf.Res, res)
+}
+
+// Oracle computes associated transforms analytically through the
+// eigendecomposition of G1 and the scalar association rules:
+//
+//	A2[1/((s1−λp)(s2−λq))] = 1/(s−λp−λq)      (Theorem 1, scalar)
+//	A2[(s1−λ)⁻¹]           = 1                (Theorem 2, scalar)
+//	A[F(s1+…+sn)·G]        = F(s)·A[G]        (property (8))
+//
+// It requires a diagonalizable G1 with simple pole sums (generic case).
+type Oracle struct {
+	sys  *qldae.System
+	eig  *schur.Eig
+	sinv *mat.CDense
+	bhat [][]complex128 // S⁻¹·b per input column
+}
+
+// NewOracle eigendecomposes G1.
+func NewOracle(sys *qldae.System) (*Oracle, error) {
+	e, err := schur.Eigen(sys.G1)
+	if err != nil {
+		return nil, err
+	}
+	sinv, err := e.InverseVectors()
+	if err != nil {
+		return nil, err
+	}
+	o := &Oracle{sys: sys, eig: e, sinv: sinv}
+	for in := 0; in < sys.Inputs(); in++ {
+		bh := make([]complex128, sys.N)
+		sinv.MulVec(bh, mat.ToComplex(sys.B.Col(in)))
+		o.bhat = append(o.bhat, bh)
+	}
+	return o, nil
+}
+
+// eigvec returns column p of S scaled by c.
+func (o *Oracle) eigvec(p int, c complex128) []complex128 {
+	n := o.sys.N
+	v := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		v[i] = o.eig.Vectors.At(i, p) * c
+	}
+	return v
+}
+
+// resolvePF splits (sI−G1)⁻¹·g/(s−ν) into first-order poles and adds them
+// to pf: residue (νI−G1)⁻¹g at ν and −S_:i·ĝ_i/(ν−λ_i) at each λ_i.
+func (o *Oracle) resolvePF(pf *PF, nu complex128, g []complex128) error {
+	n := o.sys.N
+	ghat := make([]complex128, n)
+	o.sinv.MulVec(ghat, g)
+	atNu := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		den := nu - o.eig.Values[i]
+		if den == 0 {
+			return errors.New("volterra: oracle pole collision (non-generic spectrum)")
+		}
+		c := ghat[i] / den
+		// Accumulate S·diag(1/(ν−λ))·ĝ for the ν pole.
+		for r := 0; r < n; r++ {
+			atNu[r] += o.eig.Vectors.At(r, i) * c
+		}
+		// −S_:i ĝ_i/(ν−λi) at λi.
+		pf.add(o.eig.Values[i], o.eigvec(i, -c))
+	}
+	pf.add(nu, atNu)
+	return nil
+}
+
+// resolveConstPF adds (sI−G1)⁻¹·g (poles at each λ_i) to pf.
+func (o *Oracle) resolveConstPF(pf *PF, g []complex128) {
+	n := o.sys.N
+	ghat := make([]complex128, n)
+	o.sinv.MulVec(ghat, g)
+	for i := 0; i < n; i++ {
+		pf.add(o.eig.Values[i], o.eigvec(i, ghat[i]))
+	}
+}
+
+// AssocH2 returns the partial-fraction form of A2(H2⁽ⁱʲ⁾)(s).
+func (o *Oracle) AssocH2(i, j int) (*PF, error) {
+	sys := o.sys
+	n := sys.N
+	pf := &PF{n: n}
+	// G2 part: ½ Σ_pq G2(S_:p⊗S_:q)(b̂ᵢ_p b̂ⱼ_q + b̂ⱼ_p b̂ᵢ_q) / ((s−λp−λq)(sI−G1)).
+	if sys.G2 != nil {
+		g := make([]complex128, n)
+		for p := 0; p < n; p++ {
+			sp := o.eigvec(p, 1)
+			for q := 0; q < n; q++ {
+				coef := 0.5 * (o.bhat[i][p]*o.bhat[j][q] + o.bhat[j][p]*o.bhat[i][q])
+				if coef == 0 {
+					continue
+				}
+				sq := o.eigvec(q, 1)
+				sys.G2.QuadApplyC(g, sp, sq)
+				for r := range g {
+					g[r] *= coef
+				}
+				if err := o.resolvePF(pf, o.eig.Values[p]+o.eig.Values[q], g); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// D1 part: (sI−G1)⁻¹ · ½(D1ᵢ·bⱼ + D1ⱼ·bᵢ)  (Theorem 2).
+	d := d1Cross(sys, i, j)
+	if d != nil {
+		o.resolveConstPF(pf, mat.ToComplex(d))
+	}
+	return pf, nil
+}
+
+// d1Cross returns ½(D1ᵢ·bⱼ + D1ⱼ·bᵢ), or nil when there is no D1.
+func d1Cross(sys *qldae.System, i, j int) []float64 {
+	if sys.D1 == nil {
+		return nil
+	}
+	n := sys.N
+	out := make([]float64, n)
+	any := false
+	tmp := make([]float64, n)
+	if sys.D1[i] != nil {
+		sys.D1[i].MulVec(tmp, sys.B.Col(j))
+		mat.Axpy(0.5, tmp, out)
+		any = true
+	}
+	if sys.D1[j] != nil {
+		sys.D1[j].MulVec(tmp, sys.B.Col(i))
+		mat.Axpy(0.5, tmp, out)
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// AssocH3 returns the partial-fraction form of A3(H3)(s) for a SISO
+// quadratic QLDAE: (sI−G1)⁻¹[G2·T(s) + D1²b] with
+// T(s) = Σ_{p,m} [S_:p b̂_p ⊗ res_m + res_m ⊗ S_:p b̂_p]/(s−λp−μm),
+// where {μm, res_m} is the PF of the diagonal kernel h2(t,t) = A2(H2).
+func (o *Oracle) AssocH3() (*PF, error) {
+	sys := o.sys
+	if sys.Inputs() != 1 {
+		return nil, errors.New("volterra: AssocH3 oracle is SISO only")
+	}
+	n := sys.N
+	h2pf, err := o.AssocH2(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	pf := &PF{n: n}
+	if sys.G2 != nil {
+		g := make([]complex128, n)
+		tmp := make([]complex128, n)
+		for p := 0; p < n; p++ {
+			if o.bhat[0][p] == 0 {
+				continue
+			}
+			sp := o.eigvec(p, o.bhat[0][p])
+			for m := range h2pf.Poles {
+				sys.G2.QuadApplyC(g, sp, h2pf.Res[m])
+				sys.G2.QuadApplyC(tmp, h2pf.Res[m], sp)
+				for r := range g {
+					g[r] += tmp[r]
+				}
+				nu := o.eig.Values[p] + h2pf.Poles[m]
+				if err := o.resolvePF(pf, nu, g); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// D1 part: (sI−G1)⁻¹·D1·h2(0,0) with h2(0,0) = Σ residues of A2(H2).
+	if sys.D1 != nil && sys.D1[0] != nil {
+		h200 := h2pf.SumResidues()
+		d := make([]complex128, n)
+		sys.D1[0].Complex().MulVec(d, h200)
+		o.resolveConstPF(pf, d)
+	}
+	return pf, nil
+}
+
+// AssocH3Cubic returns the partial-fraction form of A3(H3)(s) for a SISO
+// cubic system: (sI−G1)⁻¹ G3 Σ_{pqr} (S_:p⊗S_:q⊗S_:r)·b̂_p b̂_q b̂_r /
+// (s−λp−λq−λr)  (Corollary 1 applied entrywise).
+func (o *Oracle) AssocH3Cubic() (*PF, error) {
+	sys := o.sys
+	if sys.Inputs() != 1 || sys.G3 == nil {
+		return nil, errors.New("volterra: AssocH3Cubic needs a SISO cubic system")
+	}
+	n := sys.N
+	pf := &PF{n: n}
+	g := make([]complex128, n)
+	for p := 0; p < n; p++ {
+		if o.bhat[0][p] == 0 {
+			continue
+		}
+		sp := o.eigvec(p, o.bhat[0][p])
+		for q := 0; q < n; q++ {
+			sq := o.eigvec(q, o.bhat[0][q])
+			for r := 0; r < n; r++ {
+				sr := o.eigvec(r, o.bhat[0][r])
+				sys.G3.CubeApplyC(g, sp, sq, sr)
+				nu := o.eig.Values[p] + o.eig.Values[q] + o.eig.Values[r]
+				if err := o.resolvePF(pf, nu, g); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return pf, nil
+}

@@ -1,0 +1,201 @@
+package volterra
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"avtmor/internal/lu"
+	"avtmor/internal/mat"
+	"avtmor/internal/qldae"
+	"avtmor/internal/sparse"
+)
+
+func testSystem(rng *rand.Rand, n, m int, withD1 bool) *qldae.System {
+	g2b := sparse.NewBuilder(n, n*n)
+	for i := 0; i < 3*n; i++ {
+		g2b.Add(rng.Intn(n), rng.Intn(n*n), 0.3*(2*rng.Float64()-1))
+	}
+	s := &qldae.System{
+		N:  n,
+		G1: mat.RandStable(rng, n, 0.4),
+		G2: g2b.Build(),
+		B:  mat.RandDense(rng, n, m),
+		L:  mat.RandDense(rng, 1, n),
+	}
+	if withD1 {
+		s.D1 = make([]*mat.Dense, m)
+		for i := range s.D1 {
+			s.D1[i] = mat.RandDense(rng, n, n).Scale(0.2)
+		}
+	}
+	return s
+}
+
+func cdist(a, b []complex128) float64 {
+	d := make([]complex128, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	return mat.CNorm2(d)
+}
+
+func TestH1AgainstComplexLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sys := testSystem(rng, 8, 1, false)
+	s := 0.4 + 1.2i
+	got, err := H1(sys, 0, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct: (sI − G1) x = b.
+	a := sys.G1.Clone().Scale(-1).Complex()
+	for i := 0; i < 8; i++ {
+		a.Set(i, i, a.At(i, i)+s)
+	}
+	want, err := lu.SolveC(a, mat.ToComplex(sys.B.Col(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdist(got, want) > 1e-10 {
+		t.Fatalf("H1 mismatch %g", cdist(got, want))
+	}
+}
+
+func TestH2SymmetricInArguments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sys := testSystem(rng, 7, 1, true)
+	s1, s2 := 0.3+0.8i, -0.1+1.5i
+	a, err := H2(sys, 0, 0, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := H2(sys, 0, 0, s2, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdist(a, b) > 1e-10*(1+mat.CNorm2(a)) {
+		t.Fatalf("H2 not symmetric: %g", cdist(a, b))
+	}
+}
+
+func TestH2PairExchange(t *testing.T) {
+	// H2^{(ij)}(s1,s2) = H2^{(ji)}(s2,s1) by construction.
+	rng := rand.New(rand.NewSource(3))
+	sys := testSystem(rng, 6, 2, true)
+	s1, s2 := 0.2+0.5i, 0.7-0.3i
+	a, err := H2(sys, 0, 1, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := H2(sys, 1, 0, s2, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdist(a, b) > 1e-10*(1+mat.CNorm2(a)) {
+		t.Fatalf("pair exchange broken: %g", cdist(a, b))
+	}
+}
+
+func TestH3PermutationSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sys := testSystem(rng, 5, 1, true)
+	s1, s2, s3 := 0.2+0.4i, 0.5-0.2i, -0.1+0.9i
+	a, err := H3(sys, s1, s2, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][3]complex128{{s2, s1, s3}, {s3, s2, s1}, {s2, s3, s1}} {
+		b, err := H3(sys, p[0], p[1], p[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cdist(a, b) > 1e-9*(1+mat.CNorm2(a)) {
+			t.Fatalf("H3 not permutation symmetric: %g", cdist(a, b))
+		}
+	}
+}
+
+func TestH3CubicPermutationSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 5
+	g3b := sparse.NewBuilder(n, n*n*n)
+	for i := 0; i < 3*n; i++ {
+		g3b.Add(rng.Intn(n), rng.Intn(n*n*n), 0.3*(2*rng.Float64()-1))
+	}
+	sys := &qldae.System{
+		N: n, G1: mat.RandStable(rng, n, 0.4), G3: g3b.Build(),
+		B: mat.RandDense(rng, n, 1), L: mat.RandDense(rng, 1, n),
+	}
+	s1, s2, s3 := 0.1+0.6i, 0.4-0.1i, 0.8+0.2i
+	a, err := H3Cubic(sys, s1, s2, s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := H3Cubic(sys, s3, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdist(a, b) > 1e-10*(1+mat.CNorm2(a)) {
+		t.Fatalf("cubic H3 not symmetric: %g", cdist(a, b))
+	}
+}
+
+func TestPFEval(t *testing.T) {
+	pf := &PF{n: 2}
+	pf.add(complex(-1, 0), []complex128{1, 0})
+	pf.add(complex(-2, 0), []complex128{0, 3})
+	got := pf.Eval(0)
+	if cmplx.Abs(got[0]-1) > 1e-15 || cmplx.Abs(got[1]-1.5) > 1e-15 {
+		t.Fatalf("PF eval wrong: %v", got)
+	}
+	sum := pf.SumResidues()
+	if sum[0] != 1 || sum[1] != 3 {
+		t.Fatalf("SumResidues wrong: %v", sum)
+	}
+}
+
+func TestOracleAssocH2LinearPlusBilinear(t *testing.T) {
+	// With G2 = nil, A2(H2) = (sI−G1)⁻¹·D1·b exactly; the oracle must
+	// reproduce this without any Kronecker machinery.
+	rng := rand.New(rand.NewSource(6))
+	n := 6
+	sys := &qldae.System{
+		N:  n,
+		G1: mat.RandStable(rng, n, 0.4),
+		D1: []*mat.Dense{mat.RandDense(rng, n, n).Scale(0.5)},
+		B:  mat.RandDense(rng, n, 1),
+		L:  mat.RandDense(rng, 1, n),
+	}
+	o, err := NewOracle(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := o.AssocH2(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 0.3 + 0.7i
+	got := pf.Eval(s)
+	d1b := make([]float64, n)
+	sys.D1[0].MulVec(d1b, sys.B.Col(0))
+	want, err := resolve(sys.G1, s, mat.ToComplex(d1b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdist(got, want) > 1e-8*(1+mat.CNorm2(want)) {
+		t.Fatalf("oracle linear case mismatch %g", cdist(got, want))
+	}
+}
+
+func TestOracleRejectsMIMOH3(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sys := testSystem(rng, 5, 2, false)
+	o, err := NewOracle(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AssocH3(); err == nil {
+		t.Fatal("expected SISO-only error")
+	}
+}
