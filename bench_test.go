@@ -21,6 +21,7 @@ import (
 	"avtmor/internal/mat"
 	"avtmor/internal/ode"
 	"avtmor/internal/qldae"
+	"avtmor/internal/solver"
 )
 
 // --- Figure-level benchmarks: one full regeneration per iteration ---
@@ -205,6 +206,60 @@ func BenchmarkSolverKronSum2N70(b *testing.B) {
 		}
 	}
 }
+
+// --- Solver spine: dense vs sparse LU, serial vs parallel Reduce ---
+//
+// The RLC transmission line (≈2.5 nnz/row) is the canonical large-
+// circuit pattern; nominal sizes 100/500/2000 map to 99/499/1999 states.
+// First-run baselines live in BENCH_solver.json.
+
+func rlcSized(nominal int) *circuits.Workload {
+	return circuits.RLCLine((nominal + 1) / 2)
+}
+
+func benchFactorSolve(b *testing.B, nominal int, ls solver.LinearSolver) {
+	b.Helper()
+	w := rlcSized(nominal)
+	op := solver.Operand(w.Sys.G1, w.Sys.G1S)
+	rhs := mat.RandVec(rand.New(rand.NewSource(1)), w.Sys.N)
+	x := make([]float64, w.Sys.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := ls.Factor(op)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Solve(x, rhs)
+	}
+}
+
+func BenchmarkSolverFactorSolveDenseN100(b *testing.B)  { benchFactorSolve(b, 100, solver.Dense{}) }
+func BenchmarkSolverFactorSolveSparseN100(b *testing.B) { benchFactorSolve(b, 100, solver.Sparse{}) }
+func BenchmarkSolverFactorSolveDenseN500(b *testing.B)  { benchFactorSolve(b, 500, solver.Dense{}) }
+func BenchmarkSolverFactorSolveSparseN500(b *testing.B) { benchFactorSolve(b, 500, solver.Sparse{}) }
+func BenchmarkSolverFactorSolveDenseN2000(b *testing.B) { benchFactorSolve(b, 2000, solver.Dense{}) }
+func BenchmarkSolverFactorSolveSparseN2000(b *testing.B) {
+	benchFactorSolve(b, 2000, solver.Sparse{})
+}
+
+func benchReduceMultipoint(b *testing.B, nominal int, parallel bool) {
+	b.Helper()
+	w := rlcSized(nominal)
+	opt := core.Options{K1: 6, ExtraPoints: []float64{0.4, 0.9}, Parallel: parallel}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Reduce(w.Sys, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduceSerialN100(b *testing.B)    { benchReduceMultipoint(b, 100, false) }
+func BenchmarkReduceParallelN100(b *testing.B)  { benchReduceMultipoint(b, 100, true) }
+func BenchmarkReduceSerialN500(b *testing.B)    { benchReduceMultipoint(b, 500, false) }
+func BenchmarkReduceParallelN500(b *testing.B)  { benchReduceMultipoint(b, 500, true) }
+func BenchmarkReduceSerialN2000(b *testing.B)   { benchReduceMultipoint(b, 2000, false) }
+func BenchmarkReduceParallelN2000(b *testing.B) { benchReduceMultipoint(b, 2000, true) }
 
 func BenchmarkSolverKronSum3N102(b *testing.B) {
 	w := circuits.Varistor()

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	avtmor [-out DIR] [fig2|fig3|fig4|fig5|table1|ablation|all]
+//	avtmor [-out DIR] [fig2|fig3|fig4|fig5|table1|ablation|scale|all]
+//
+// "scale" runs the sparse-direct solver-spine experiment on ≥1000-state
+// RLC transmission lines (dense vs sparse LU backends, CSR-only regime);
+// it is not part of "all" because its dense half is deliberately slow.
 //
 // Each experiment prints a summary to stdout; figure experiments also
 // write their series as CSV files under -out (default "results").
@@ -35,8 +39,9 @@ func main() {
 		"fig5":     exper.Fig5,
 		"table1":   exper.Table1,
 		"ablation": exper.Ablation,
+		"scale":    exper.Scale,
 	}
-	order := []string{"fig2", "fig3", "fig4", "fig5", "table1", "ablation"}
+	order := []string{"fig2", "fig3", "fig4", "fig5", "table1", "ablation", "scale"}
 	var reports []*exper.Report
 	for _, t := range targets {
 		switch {

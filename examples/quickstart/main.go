@@ -41,8 +41,12 @@ func main() {
 	sys := &qldae.System{N: n, G1: g1, G2: g2.Build(), B: b, L: l}
 
 	// Reduce: match 4 moments of H1(s), 2 of the associated A2(H2)(s),
-	// and 1 of A3(H3)(s), all about s0 = 0.
-	rom, err := core.Reduce(sys, core.Options{K1: 4, K2: 2, K3: 1})
+	// and 1 of A3(H3)(s), all about s0 = 0. Parallel fans the
+	// independent moment generators out over goroutines (the ROM is
+	// identical to the serial one); the solver backend is auto-routed —
+	// dense LU at this size, sparse LU for large circuits such as
+	// circuits.RLCLine (see README "Large circuits").
+	rom, err := core.Reduce(sys, core.Options{K1: 4, K2: 2, K3: 1, Parallel: true})
 	if err != nil {
 		log.Fatal(err)
 	}

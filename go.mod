@@ -1,0 +1,3 @@
+module avtmor
+
+go 1.24

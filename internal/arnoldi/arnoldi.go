@@ -10,6 +10,7 @@ package arnoldi
 
 import (
 	"avtmor/internal/mat"
+	"avtmor/internal/solver"
 )
 
 // Op is a linear operator on R^Dim.
@@ -30,6 +31,19 @@ func (f FuncOp) Dim() int { return f.N }
 
 // Apply invokes the closure.
 func (f FuncOp) Apply(dst, src []float64) { f.F(dst, src) }
+
+// SolveOp adapts a solver.Factorization to Op: every Apply is one
+// back-solve, so Krylov over SolveOp spans the shift-inverted moment
+// space of the factored pencil. This is how the moment generators hand
+// their cached (G1 − s0·I) factorizations — dense or sparse — to the
+// subspace iteration.
+type SolveOp struct{ F solver.Factorization }
+
+// Dim returns the factorization dimension.
+func (s SolveOp) Dim() int { return s.F.N() }
+
+// Apply computes dst = A⁻¹·src.
+func (s SolveOp) Apply(dst, src []float64) { s.F.Solve(dst, src) }
 
 // MatOp adapts a dense matrix to Op.
 type MatOp struct{ M *mat.Dense }

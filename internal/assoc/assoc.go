@@ -14,76 +14,120 @@ package assoc
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"avtmor/internal/kron"
 	"avtmor/internal/lu"
 	"avtmor/internal/mat"
 	"avtmor/internal/qldae"
 	"avtmor/internal/schur"
+	"avtmor/internal/solver"
 )
 
 // Realization bundles a QLDAE with the cached factorizations used by every
-// associated-transform computation.
+// associated-transform computation. All shift-invert back-solves with
+// (G1 − τI) go through one solver.ShiftedCache, so the backend (dense LU,
+// sparse LU, or auto-routed) is a constructor choice and factorizations
+// are shared across H1/H2/H3 and across multipoint expansion
+// frequencies. The Schur form of G1 that powers the Kronecker-sum
+// solves of H2/H3 is computed lazily on first use: linear-only (H1)
+// reductions of large sparse circuits never pay the O(n³) step.
+//
+// A Realization is safe for the concurrent moment generation of
+// core.Reduce's parallel fan-out: the shifted caches are mutexed, and
+// distinct shifts factor concurrently.
 type Realization struct {
 	Sys *qldae.System
-	S2  *kron.SumSolver2 // (⊕²G1 − σI)⁻¹ via Schur(G1)
 	gt2 *Gt2
+	sc  *solver.ShiftedCache // cache: (G1 − τI) factorizations
 
-	luReal map[float64]*lu.LU // cache: (G1 − τI) factorizations
+	mu     sync.Mutex
+	s2     *kron.SumSolver2 // (⊕²G1 − σI)⁻¹ via Schur(G1), lazy
+	s2err  error
+	s2done bool
 	luCplx map[complex128]*lu.CLU
 }
 
-// New prepares the realization (one Schur decomposition of G1).
+// New prepares the realization with the auto-routed solver backend.
 func New(sys *qldae.System) (*Realization, error) {
+	return NewWithSolver(sys, nil)
+}
+
+// NewWithSolver prepares the realization with an explicit linear-solver
+// backend (nil selects solver.Auto).
+func NewWithSolver(sys *qldae.System, ls solver.LinearSolver) (*Realization, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
-	s2, err := kron.NewSumSolver2(sys.G1)
-	if err != nil {
-		return nil, fmt.Errorf("assoc: Schur of G1 failed: %w", err)
-	}
 	r := &Realization{
 		Sys:    sys,
-		S2:     s2,
-		luReal: map[float64]*lu.LU{},
+		sc:     solver.NewShiftedCache(solver.Operand(sys.G1, sys.G1S), nil, ls),
 		luCplx: map[complex128]*lu.CLU{},
 	}
 	r.gt2 = &Gt2{r: r}
 	return r, nil
 }
 
-// Schur returns the cached Schur form of G1.
-func (r *Realization) Schur() *schur.Schur { return r.S2.Schur() }
+// Sum2 returns the lazily-built Kronecker-sum solver over Schur(G1).
+// The H2/H3 structured solves need the dense G1; CSR-only systems get
+// an explanatory error instead of an n×n densification.
+func (r *Realization) Sum2() (*kron.SumSolver2, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.s2done {
+		r.s2done = true
+		if r.Sys.G1 == nil {
+			r.s2err = errors.New("assoc: H2/H3 associated solves need a dense G1 (CSR-only system); supply qldae.System.G1 or reduce with K2 = K3 = 0")
+		} else if s2, err := kron.NewSumSolver2(r.Sys.G1); err != nil {
+			r.s2err = fmt.Errorf("assoc: Schur of G1 failed: %w", err)
+		} else {
+			r.s2 = s2
+		}
+	}
+	return r.s2, r.s2err
+}
+
+// Schur returns the cached Schur form of G1 (computing it on first use).
+func (r *Realization) Schur() (*schur.Schur, error) {
+	s2, err := r.Sum2()
+	if err != nil {
+		return nil, err
+	}
+	return s2.Schur(), nil
+}
 
 // Gt2Solver returns the shifted solver for the Eq.-(17) matrix G̃2.
 func (r *Realization) Gt2Solver() *Gt2 { return r.gt2 }
 
-// shiftedLU returns a cached factorization of (G1 − τI).
-func (r *Realization) shiftedLU(tau float64) (*lu.LU, error) {
-	if f, ok := r.luReal[tau]; ok {
-		return f, nil
-	}
-	m := r.Sys.G1.Clone()
-	for i := 0; i < m.R; i++ {
-		m.Add(i, i, -tau)
-	}
-	f, err := lu.Factor(m)
+// shiftedLU returns a cached factorization of (G1 − τI) from the
+// solver-backed shift cache.
+func (r *Realization) shiftedLU(tau float64) (solver.Factorization, error) {
+	f, err := r.sc.Factor(-tau)
 	if err != nil {
 		return nil, fmt.Errorf("assoc: (G1 − %g·I) singular: %w", tau, err)
 	}
-	scale := m.MaxAbs()
+	// Scale of the shifted pencil (max(‖G1‖_max, |τ|) bounds
+	// ‖G1 − τI‖_max within a factor of 2), so the ratio test keeps its
+	// meaning when |τ| dwarfs the matrix entries.
+	scale := math.Max(r.sc.Scale(), math.Abs(tau))
 	if f.MinAbsPivot() < 1e-12*scale {
 		return nil, fmt.Errorf("assoc: (G1 − %g·I) is numerically singular (pivot ratio %.2g); expand at a non-DC point s0",
 			tau, f.MinAbsPivot()/scale)
 	}
-	r.luReal[tau] = f
 	return f, nil
 }
 
-// shiftedCLU returns a cached complex factorization of (G1 − τI).
+// shiftedCLU returns a cached complex factorization of (G1 − τI); this
+// verification-only path stays dense.
 func (r *Realization) shiftedCLU(tau complex128) (*lu.CLU, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if f, ok := r.luCplx[tau]; ok {
 		return f, nil
+	}
+	if r.Sys.G1 == nil {
+		return nil, errors.New("assoc: complex-frequency evaluation needs a dense G1 (CSR-only system)")
 	}
 	f, err := lu.ShiftedReal(r.Sys.G1, -tau)
 	if err != nil {
@@ -140,7 +184,11 @@ func (g *Gt2) SolveShifted(tau float64, rhs []float64) ([]float64, error) {
 	if len(rhs) != n+n*n {
 		panic("assoc: Gt2 SolveShifted length mismatch")
 	}
-	w, err := g.r.S2.Solve(tau, rhs[n:])
+	s2, err := g.r.Sum2()
+	if err != nil {
+		return nil, err
+	}
+	w, err := s2.Solve(tau, rhs[n:])
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +213,11 @@ func (g *Gt2) SolveShiftedC(tau complex128, rhs []complex128) ([]complex128, err
 	if len(rhs) != n+n*n {
 		panic("assoc: Gt2 SolveShiftedC length mismatch")
 	}
-	w, err := g.r.S2.SolveC(tau, rhs[n:])
+	s2, err := g.r.Sum2()
+	if err != nil {
+		return nil, err
+	}
+	w, err := s2.SolveC(tau, rhs[n:])
 	if err != nil {
 		return nil, err
 	}
@@ -193,12 +245,20 @@ func (g *Gt2) SolveShiftedC(tau complex128, rhs []complex128) ([]complex128, err
 // realization, via the shared column recurrence over Schur(G1) with inner
 // G̃2 solves. v has length n·(n+n²), stored as n column-stacked blocks.
 func (r *Realization) SolveKron(sigma float64, v []float64) ([]float64, error) {
-	return kron.ColumnSylvester(r.gt2, r.Schur(), sigma, v)
+	s, err := r.Schur()
+	if err != nil {
+		return nil, err
+	}
+	return kron.ColumnSylvester(r.gt2, s, sigma, v)
 }
 
 // SolveKronC is the complex-shift variant of SolveKron.
 func (r *Realization) SolveKronC(sigma complex128, v []complex128) ([]complex128, error) {
-	return kron.ColumnSylvesterC(r.gt2, r.Schur(), sigma, v)
+	s, err := r.Schur()
+	if err != nil {
+		return nil, err
+	}
+	return kron.ColumnSylvesterC(r.gt2, s, sigma, v)
 }
 
 // BuildGt2Dense forms G̃2 explicitly. Exponential in memory (n+n²)²; test

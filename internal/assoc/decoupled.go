@@ -30,6 +30,9 @@ func (r *Realization) SolvePi() (*mat.Dense, error) {
 	if sys.G2 == nil {
 		return nil, fmt.Errorf("assoc: SolvePi needs a quadratic term")
 	}
+	if sys.G1 == nil {
+		return nil, fmt.Errorf("assoc: the Eq.-(18) decoupling needs a dense G1 (CSR-only system); supply qldae.System.G1 or use the block-triangular H2 path")
+	}
 	n := sys.N
 	g1t := sys.G1.T()
 	opT, err := kron.NewSumSolver2(g1t)
@@ -139,9 +142,13 @@ func (r *Realization) H2CandidatesDecoupled(k2 int, s0 float64) ([][]float64, er
 				cur = next
 			}
 			// Subsystem 2: Π·(⊕²G1 − s0·I)^{-k}·b².
+			s2, err := r.Sum2()
+			if err != nil {
+				return nil, err
+			}
 			w := b2
 			for k := 0; k < k2; k++ {
-				w, err = r.S2.Solve(s0, w)
+				w, err = s2.Solve(s0, w)
 				if err != nil {
 					return nil, err
 				}

@@ -63,7 +63,11 @@ func TestSolvePiDiagonalizes(t *testing.T) {
 			x1[i] = -x1[i] // (sI−G1)⁻¹ = −(G1−sI)⁻¹
 		}
 		// Subsystem 2: Π·(sI−⊕²G1)⁻¹·b².
-		w, err := r.S2.SolveC(s, mat.ToComplex(b2))
+		s2, err := r.Sum2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := s2.SolveC(s, mat.ToComplex(b2))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,7 +14,9 @@ import (
 
 // H1Moments returns the k1 shift-inverted Krylov vectors
 // {M⁻¹b, …, M^{−k1}b} per input, M = G1 − s0·I (iterates are normalized;
-// spans are unchanged).
+// spans are unchanged). The back-solves run through the solver-backed
+// factorization cache, so the one factor of M — dense or sparse LU —
+// is shared with every other moment order and expansion point.
 func (r *Realization) H1Moments(k1 int, s0 float64) ([][]float64, error) {
 	if k1 <= 0 {
 		return nil, nil
@@ -23,12 +25,13 @@ func (r *Realization) H1Moments(k1 int, s0 float64) ([][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	op := arnoldi.SolveOp{F: f}
 	var out [][]float64
 	for in := 0; in < r.Sys.Inputs(); in++ {
 		w := r.Sys.B.Col(in)
 		for k := 0; k < k1; k++ {
 			next := make([]float64, len(w))
-			f.Solve(next, w)
+			op.Apply(next, w)
 			if n2 := mat.Norm2(next); n2 > 0 {
 				mat.ScaleVec(1/n2, next)
 			}

@@ -10,8 +10,12 @@ package assoc
 
 // SpectrumGt2 returns the eigenvalues of the (n+n²)-dimensional Eq.-(17)
 // matrix G̃2: eig(G1) followed by all pairwise sums λi + λj.
-func (r *Realization) SpectrumGt2() []complex128 {
-	lam := r.Schur().Eigenvalues()
+func (r *Realization) SpectrumGt2() ([]complex128, error) {
+	s, err := r.Schur()
+	if err != nil {
+		return nil, err
+	}
+	lam := s.Eigenvalues()
 	n := len(lam)
 	out := make([]complex128, 0, n+n*n)
 	out = append(out, lam...)
@@ -20,21 +24,28 @@ func (r *Realization) SpectrumGt2() []complex128 {
 			out = append(out, a+b)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SpectrumKron3 returns the eigenvalues of the H̃3 operator G1⊕G̃2:
 // every sum λp + μ with μ ∈ eig(G̃2), i.e. {λp+λi, λp+λi+λj}.
-func (r *Realization) SpectrumKron3() []complex128 {
-	lam := r.Schur().Eigenvalues()
-	g2spec := r.SpectrumGt2()
+func (r *Realization) SpectrumKron3() ([]complex128, error) {
+	s, err := r.Schur()
+	if err != nil {
+		return nil, err
+	}
+	lam := s.Eigenvalues()
+	g2spec, err := r.SpectrumGt2()
+	if err != nil {
+		return nil, err
+	}
 	out := make([]complex128, 0, len(lam)*len(g2spec))
 	for _, p := range lam {
 		for _, mu := range g2spec {
 			out = append(out, p+mu)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // IsHurwitz reports whether every eigenvalue of the given spectrum has

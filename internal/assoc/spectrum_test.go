@@ -15,7 +15,10 @@ func TestSpectrumGt2MatchesDense(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := r.SpectrumGt2()
+	got, err := r.SpectrumGt2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want, err := schur.Eigenvalues(BuildGt2Dense(sys))
 	if err != nil {
 		t.Fatal(err)
@@ -53,13 +56,25 @@ func TestStabilityInheritance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !IsHurwitz(r.Schur().Eigenvalues(), 0) {
+		sch, err := r.Schur()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsHurwitz(sch.Eigenvalues(), 0) {
 			t.Fatal("test system not Hurwitz; vacuous")
 		}
-		if !IsHurwitz(r.SpectrumGt2(), 0) {
+		sg2, err := r.SpectrumGt2()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsHurwitz(sg2, 0) {
 			t.Fatal("G̃2 lost stability")
 		}
-		if !IsHurwitz(r.SpectrumKron3(), 0) {
+		sk3, err := r.SpectrumKron3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsHurwitz(sk3, 0) {
 			t.Fatal("G1⊕G̃2 lost stability")
 		}
 	}
@@ -73,7 +88,11 @@ func TestSpectrumKron3Count(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := sys.N
-	if got := len(r.SpectrumKron3()); got != n*(n+n*n) {
+	sk3, err := r.SpectrumKron3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sk3); got != n*(n+n*n) {
 		t.Fatalf("Kron3 spectrum size %d, want %d", got, n*(n+n*n))
 	}
 }

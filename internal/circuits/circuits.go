@@ -130,12 +130,13 @@ func NTLVoltage(stages int) *Workload {
 	l := mat.NewDense(1, n)
 	l.Set(0, 0, 1) // observe node-0 voltage
 	sys := &qldae.System{
-		N:  n,
-		G1: g1,
-		G2: g2b.Build(),
-		D1: []*mat.Dense{d1},
-		B:  b,
-		L:  l,
+		N:   n,
+		G1:  g1,
+		G1S: sparse.FromDense(g1),
+		G2:  g2b.Build(),
+		D1:  []*mat.Dense{d1},
+		B:   b,
+		L:   l,
 	}
 	return &Workload{
 		Name: "ntl-voltage",
@@ -207,7 +208,7 @@ func NTLCurrent(n int) *Workload {
 	b.Set(0, 0, 1)
 	l := mat.NewDense(1, n)
 	l.Set(0, 0, 1)
-	sys := &qldae.System{N: n, G1: g1, G2: g2b.Build(), B: b, L: l}
+	sys := &qldae.System{N: n, G1: g1, G1S: sparse.FromDense(g1), G2: g2b.Build(), B: b, L: l}
 	return &Workload{
 		Name: "ntl-current",
 		Sys:  sys,
@@ -310,7 +311,7 @@ func RFReceiver() *Workload {
 	b.Set(6, 1, 0.5/cNode) // interference into the mixer node
 	l := mat.NewDense(1, n)
 	l.Set(0, mainNodes-1, 1)
-	sys := &qldae.System{N: n, G1: g1, G2: g2b.Build(), B: b, L: l}
+	sys := &qldae.System{N: n, G1: g1, G1S: sparse.FromDense(g1), G2: g2b.Build(), B: b, L: l}
 	return &Workload{
 		Name: "rf-receiver",
 		Sys:  sys,
@@ -383,7 +384,7 @@ func Varistor() *Workload {
 	b.Set(0, 0, 1/l1)
 	l := mat.NewDense(1, n)
 	l.Set(0, 3, 1) // protected-side voltage v2
-	sys := &qldae.System{N: n, G1: g1, G3: g3b.Build(), B: b, L: l}
+	sys := &qldae.System{N: n, G1: g1, G1S: sparse.FromDense(g1), G3: g3b.Build(), B: b, L: l}
 	return &Workload{
 		Name: "varistor",
 		Sys:  sys,
@@ -400,6 +401,77 @@ func Varistor() *Workload {
 		Steps:      4000,
 		Stiff:      true,
 		OutputName: "protected-side voltage (kV)",
+	}
+}
+
+// rlcDenseMirrorLimit bounds the state count up to which RLCLine also
+// materializes the dense G1 (for dense-vs-sparse comparison runs);
+// beyond it the workload is CSR-only — the regime the dense path cannot
+// touch at all.
+const rlcDenseMirrorLimit = 2500
+
+// RLCLine builds a linear RLC transmission line with the given number
+// of sections — the classic interconnect/power-grid workload that
+// motivates the sparse-direct spine (ROADMAP: thousands of nodes).
+// Section k carries a node with unit capacitance and a small shunt
+// loss, joined to the next node by a series R–L branch; the far end is
+// resistively loaded. States: sections node voltages followed by
+// sections−1 inductor branch currents (n = 2·sections − 1, G1 has ≈ 2.5
+// nonzeros per row). The line is linear (G2 = G3 = D1 = nil), so
+// Reduce matches H1 moments only — the path where the sparse LU turns
+// the "one LU of G1" of §2.3 from O(n³) into O(n).
+func RLCLine(sections int) *Workload {
+	const (
+		rSer  = 0.1  // series resistance per section
+		lSer  = 1.0  // series inductance
+		cNode = 1.0  // node capacitance
+		gSh   = 0.02 // shunt loss keeps G1 invertible at DC
+		gLoad = 1.0  // far-end load
+	)
+	if sections < 2 {
+		panic("circuits: RLCLine needs at least 2 sections")
+	}
+	m := sections
+	n := 2*m - 1
+	ib := func(k int) int { return m + k } // branch k joins node k → k+1
+	g1b := sparse.NewBuilder(n, n)
+	for k := 0; k < m; k++ {
+		diag := -gSh
+		if k == m-1 {
+			diag -= gLoad
+		}
+		g1b.Add(k, k, diag/cNode)
+		if k > 0 {
+			g1b.Add(k, ib(k-1), 1/cNode)
+		}
+		if k < m-1 {
+			g1b.Add(k, ib(k), -1/cNode)
+		}
+	}
+	for k := 0; k < m-1; k++ {
+		g1b.Add(ib(k), k, 1/lSer)
+		g1b.Add(ib(k), k+1, -1/lSer)
+		g1b.Add(ib(k), ib(k), -rSer/lSer)
+	}
+	g1s := g1b.Build()
+	b := mat.NewDense(n, 1)
+	b.Set(0, 0, 1/cNode) // current source into the driven node
+	l := mat.NewDense(1, n)
+	l.Set(0, m-1, 1) // observe the far-end voltage
+	sys := &qldae.System{N: n, G1S: g1s, B: b, L: l}
+	if n <= rlcDenseMirrorLimit {
+		sys.G1 = g1s.Dense()
+	}
+	return &Workload{
+		Name: "rlc-line",
+		Sys:  sys,
+		U: func(t float64) []float64 {
+			return []float64{0.5 * math.Sin(2*math.Pi*t/15) * (1 - math.Exp(-t/4))}
+		},
+		TEnd:       40,
+		Steps:      4000,
+		Stiff:      true,
+		OutputName: "far-end voltage (V)",
 	}
 }
 

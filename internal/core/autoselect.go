@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"avtmor/internal/balance"
@@ -26,6 +27,9 @@ func SuggestOrders(sys *qldae.System, tol float64) (Options, error) {
 	}
 	if tol <= 0 {
 		tol = 1e-4
+	}
+	if sys.G1 == nil {
+		return Options{}, errors.New("core: Hankel order selection needs a dense G1 (CSR-only system); pick moment counts manually")
 	}
 	hsv, err := balance.HSV(sys.G1, sys.B, sys.L)
 	if err != nil {

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"avtmor/internal/assoc"
@@ -22,6 +23,7 @@ import (
 	"avtmor/internal/mat"
 	"avtmor/internal/qldae"
 	"avtmor/internal/qr"
+	"avtmor/internal/solver"
 )
 
 // Options selects moment counts and the expansion point.
@@ -49,6 +51,17 @@ type Options struct {
 	// realization path. Results are span-equivalent; the paths differ in
 	// cost profile (see BenchmarkAblationDecoupledH2).
 	DecoupledH2 bool
+	// Solver selects the linear-solver backend for every shift-invert
+	// factorization: auto (dense below the routing cutoff, sparse LU for
+	// large sparse G1), or forced dense/sparse. Auto is what makes
+	// ≥10³-state circuits reduce in O(nnz·fill) instead of O(n³).
+	Solver solver.Kind
+	// Parallel fans the independent moment generators out over
+	// goroutines: one per expansion point (H1+H2 about S0 and every
+	// ExtraPoints entry) plus one per Volterra-3 branch. Candidate
+	// ordering — and therefore the ROM — is identical to the serial
+	// path; only wall-clock changes.
+	Parallel bool
 }
 
 func (o Options) dropTol() float64 {
@@ -84,7 +97,12 @@ type Stats struct {
 // Order returns the reduced dimension q.
 func (r *ROM) Order() int { return r.Sys.N }
 
-// Reduce runs the proposed associated-transform NMOR.
+// Reduce runs the proposed associated-transform NMOR. All shift-invert
+// factorizations route through the backend named by opt.Solver and are
+// cached per expansion point inside the shared realization; with
+// opt.Parallel the per-point and per-order generators run concurrently
+// (they are independent Krylov chains — §2.3's "can be computed in
+// parallel" remark) while the candidate ordering stays deterministic.
 func Reduce(sys *qldae.System, opt Options) (*ROM, error) {
 	start := time.Now()
 	if err := sys.Validate(); err != nil {
@@ -93,49 +111,95 @@ func Reduce(sys *qldae.System, opt Options) (*ROM, error) {
 	if opt.K1 <= 0 && opt.K2 <= 0 && opt.K3 <= 0 {
 		return nil, errors.New("core: at least one moment count must be positive")
 	}
-	r, err := assoc.New(sys)
+	r, err := assoc.NewWithSolver(sys, solver.ByKind(opt.Solver))
 	if err != nil {
 		return nil, err
 	}
 	points := append([]float64{opt.S0}, opt.ExtraPoints...)
-	var cols [][]float64
-	for _, s0 := range points {
-		h1, err := r.H1Moments(opt.K1, s0)
-		if err != nil {
-			return nil, fmt.Errorf("core: H1 moments at s0=%g: %w", s0, err)
+	// Independent generator tasks, gathered in deterministic order.
+	type genOut struct {
+		cols [][]float64
+		err  error
+	}
+	wantH2 := sys.G2 != nil || sys.D1 != nil
+	wantH3 := wantH2 && opt.K3 > 0 && sys.Inputs() == 1
+	wantH3Cubic := sys.G3 != nil && opt.K3 > 0 && sys.Inputs() == 1
+	slots := make([]genOut, 2*len(points)+2)
+	var wg sync.WaitGroup
+	failed := false // serial mode short-circuits after the first error
+	run := func(slot int, f func() ([][]float64, error)) {
+		if !opt.Parallel {
+			if failed {
+				return
+			}
+			slots[slot].cols, slots[slot].err = f()
+			failed = slots[slot].err != nil
+			return
 		}
-		cols = append(cols, h1...)
-		if sys.G2 == nil && sys.D1 == nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			slots[slot].cols, slots[slot].err = f()
+		}()
+	}
+	for i, s0 := range points {
+		i, s0 := i, s0
+		run(2*i, func() ([][]float64, error) {
+			h1, err := r.H1Moments(opt.K1, s0)
+			if err != nil {
+				return nil, fmt.Errorf("core: H1 moments at s0=%g: %w", s0, err)
+			}
+			return h1, nil
+		})
+		if !wantH2 {
 			continue
 		}
-		var h2 [][]float64
-		if opt.DecoupledH2 {
-			h2, err = r.H2CandidatesDecoupled(opt.K2, s0)
-		} else {
-			h2, err = r.H2Candidates(opt.K2, s0)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: H2 candidates at s0=%g: %w", s0, err)
-		}
-		cols = append(cols, h2...)
+		run(2*i+1, func() ([][]float64, error) {
+			var h2 [][]float64
+			var err error
+			if opt.DecoupledH2 {
+				h2, err = r.H2CandidatesDecoupled(opt.K2, s0)
+			} else {
+				h2, err = r.H2Candidates(opt.K2, s0)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: H2 candidates at s0=%g: %w", s0, err)
+			}
+			return h2, nil
+		})
 	}
-	if (sys.G2 != nil || sys.D1 != nil) && opt.K3 > 0 && sys.Inputs() == 1 {
-		h3, err := r.H3Moments(opt.K3, opt.S0)
-		if err != nil {
-			return nil, fmt.Errorf("core: H3 moments: %w", err)
-		}
-		cols = append(cols, h3...)
+	if wantH3 {
+		run(2*len(points), func() ([][]float64, error) {
+			h3, err := r.H3Moments(opt.K3, opt.S0)
+			if err != nil {
+				return nil, fmt.Errorf("core: H3 moments: %w", err)
+			}
+			return h3, nil
+		})
 	}
-	if sys.G3 != nil && opt.K3 > 0 && sys.Inputs() == 1 {
-		s3, err := kron.NewSumSolver3(sys.G1)
-		if err != nil {
-			return nil, err
+	if wantH3Cubic {
+		run(2*len(points)+1, func() ([][]float64, error) {
+			if sys.G1 == nil {
+				return nil, errors.New("core: cubic H3 moments need a dense G1")
+			}
+			s3, err := kron.NewSumSolver3(sys.G1)
+			if err != nil {
+				return nil, err
+			}
+			h3c, err := r.H3MomentsCubic(s3, opt.K3, opt.S0)
+			if err != nil {
+				return nil, fmt.Errorf("core: cubic H3 moments: %w", err)
+			}
+			return h3c, nil
+		})
+	}
+	wg.Wait()
+	var cols [][]float64
+	for _, s := range slots {
+		if s.err != nil {
+			return nil, s.err
 		}
-		h3c, err := r.H3MomentsCubic(s3, opt.K3, opt.S0)
-		if err != nil {
-			return nil, fmt.Errorf("core: cubic H3 moments: %w", err)
-		}
-		cols = append(cols, h3c...)
+		cols = append(cols, s.cols...)
 	}
 	return finish(sys, cols, opt, "assoc", start)
 }

@@ -3,11 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
-	"avtmor/internal/lu"
 	"avtmor/internal/mat"
 	"avtmor/internal/qldae"
+	"avtmor/internal/solver"
 )
 
 // ReduceNORM is the classical Krylov NMOR baseline (NORM, Li & Pileggi
@@ -37,16 +38,17 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 	}
 	n := sys.N
 	m := sys.Inputs()
-	factor := func(r float64) (*lu.LU, error) {
-		g := sys.G1.Clone()
-		for i := 0; i < n; i++ {
-			g.Add(i, i, -r*opt.S0)
-		}
-		f, err := lu.Factor(g)
+	// The r-fold shifted pencils G1 − r·s0·I share one solver-backed
+	// cache, so the backend (dense vs sparse LU) follows opt.Solver just
+	// as in the associated-transform path.
+	sc := solver.NewShiftedCache(solver.Operand(sys.G1, sys.G1S), nil, solver.ByKind(opt.Solver))
+	factor := func(r float64) (solver.Factorization, error) {
+		f, err := sc.Factor(-r * opt.S0)
 		if err != nil {
 			return nil, fmt.Errorf("core: NORM shift %g: %w", r*opt.S0, err)
 		}
-		if scale := g.MaxAbs(); f.MinAbsPivot() < 1e-12*scale {
+		// max(‖G1‖_max, |shift|) tracks the shifted pencil's scale.
+		if scale := math.Max(sc.Scale(), math.Abs(r*opt.S0)); f.MinAbsPivot() < 1e-12*scale {
 			return nil, fmt.Errorf("core: NORM shift %g is numerically singular (pivot ratio %.2g); expand at a non-DC point",
 				r*opt.S0, f.MinAbsPivot()/scale)
 		}

@@ -12,6 +12,9 @@ import (
 // order selection on the Fig.-3 circuit must yield a compact, accurate ROM
 // without any hand-picked moment counts.
 func TestAutoReduceOnNTL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-level experiment; run without -short (nightly CI job)")
+	}
 	w := circuits.NTLCurrent(70)
 	opt, err := core.SuggestOrders(w.Sys, 1e-5)
 	if err != nil {

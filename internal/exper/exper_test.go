@@ -6,6 +6,9 @@ import "testing"
 // "shape": who wins, by roughly what factor), not absolute numbers.
 
 func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-level experiment; run without -short (nightly CI job)")
+	}
 	rep, err := Fig2()
 	if err != nil {
 		t.Fatal(err)
@@ -26,6 +29,9 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-level experiment; run without -short (nightly CI job)")
+	}
 	rep, err := Fig3()
 	if err != nil {
 		t.Fatal(err)
@@ -58,6 +64,9 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-level experiment; run without -short (nightly CI job)")
+	}
 	rep, err := Fig4()
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +87,9 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-level experiment; run without -short (nightly CI job)")
+	}
 	rep, err := Fig5()
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +107,9 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestAblationGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-level experiment; run without -short (nightly CI job)")
+	}
 	rep, err := Ablation()
 	if err != nil {
 		t.Fatal(err)

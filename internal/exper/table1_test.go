@@ -6,6 +6,9 @@ import (
 )
 
 func TestTable1Assembled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-level experiment; run without -short (nightly CI job)")
+	}
 	rep, err := Table1()
 	if err != nil {
 		t.Fatal(err)
@@ -39,6 +42,9 @@ func TestTable1Assembled(t *testing.T) {
 }
 
 func TestCSVWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure-level experiment; run without -short (nightly CI job)")
+	}
 	rep, err := Fig3()
 	if err != nil {
 		t.Fatal(err)

@@ -383,7 +383,9 @@ func (c *Circuit) Build() (*qldae.System, error) {
 		}
 		l.Set(r, idx, 1)
 	}
-	sys := &qldae.System{N: n, G1: g1, G2: g2b.Build(), D1: d1, B: b, L: l}
+	// The CSR mirror of G1 lets the solver layer route large parsed
+	// circuits through the sparse LU; small ones still factor densely.
+	sys := &qldae.System{N: n, G1: g1, G1S: sparse.FromDense(g1), G2: g2b.Build(), D1: d1, B: b, L: l}
 	if sys.G2.NNZ() == 0 {
 		sys.G2 = nil
 	}

@@ -10,9 +10,10 @@ import (
 	"fmt"
 	"math"
 
-	"avtmor/internal/lu"
 	"avtmor/internal/mat"
 	"avtmor/internal/qldae"
+	"avtmor/internal/solver"
+	"avtmor/internal/sparse"
 )
 
 // Input is a scalar-per-channel input signal u(t).
@@ -183,11 +184,58 @@ func Dopri5(sys *qldae.System, x0 []float64, u Input, tEnd, rtol, atol float64) 
 	return res, nil
 }
 
-// Trapezoidal integrates with the implicit trapezoidal rule and a full
-// Newton iteration per step (dense Jacobian LU). Suitable for the stiff
-// varistor surge of §3.4 where explicit methods need punishing step sizes.
+// Trapezoidal integrates with the implicit trapezoidal rule and Newton
+// iteration. Suitable for the stiff varistor surge of §3.4 where explicit
+// methods need punishing step sizes. Equivalent to TrapezoidalSolver with
+// the auto-routed backend.
 func Trapezoidal(sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps int) (*Result, error) {
+	return TrapezoidalSolver(sys, x0, u, tEnd, nSteps, nil)
+}
+
+// newtonRefresh is the modified-Newton refactorization cadence: the
+// step's Jacobian is factored once at the predictor state and reused;
+// while the iteration has not converged, it is refactored at the
+// current iterate every newtonRefresh iterations (an unconditional
+// cadence — there is no separate stall detector).
+const newtonRefresh = 6
+
+// TrapezoidalSolver is Trapezoidal with an explicit linear-solver
+// backend (nil selects solver.Auto). The Newton matrix I − h/2·∂f/∂x is
+// factored once per step through the LinearSolver interface — in CSR
+// form for systems carrying a sparse G1 mirror beyond the dense routing
+// cutoff — so full-order reference simulations of large circuits pay
+// O(nnz·fill) per step, not O(n³) per Newton iteration.
+func TrapezoidalSolver(sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps int, ls solver.LinearSolver) (*Result, error) {
 	n := sys.N
+	if ls == nil {
+		ls = solver.Auto{}
+	}
+	// Assemble the Newton matrix in the representation the backend will
+	// factor: CSR whenever the dense G1 is absent, or when the system is
+	// mirrored sparse and large (or the caller forced the sparse LU).
+	sparseAssembly := sys.G1 == nil
+	switch ls.(type) {
+	case solver.Sparse:
+		sparseAssembly = true
+	case solver.Dense:
+		sparseAssembly = sys.G1 == nil
+	default:
+		sparseAssembly = sparseAssembly || (sys.G1S != nil && n >= solver.AutoDenseCutoff)
+	}
+	var eye *sparse.CSR
+	if sparseAssembly {
+		eye = sparse.Eye(n)
+	}
+	newtonMatrix := func(xn []float64, u1 []float64, h float64) *solver.Matrix {
+		if sparseAssembly {
+			return solver.FromCSR(sparse.Add(1, eye, -0.5*h, sys.JacobianCSR(xn, u1)))
+		}
+		jac := sys.Jacobian(xn, u1).Scale(-0.5 * h)
+		for i := 0; i < n; i++ {
+			jac.Add(i, i, 1)
+		}
+		return solver.FromDense(jac)
+	}
 	h := tEnd / float64(nSteps)
 	x := mat.CopyVec(x0)
 	res := &Result{}
@@ -206,6 +254,7 @@ func Trapezoidal(sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps 
 		xn := mat.CopyVec(x)
 		mat.Axpy(h, f0, xn)
 		converged := false
+		var fac solver.Factorization
 		for it := 0; it < maxNewton; it++ {
 			res.NewtonIters++
 			sys.Eval(f1, xn, u1)
@@ -219,16 +268,14 @@ func Trapezoidal(sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps 
 				converged = true
 				break
 			}
-			// J = I − h/2 ∂f/∂x.
-			jac := sys.Jacobian(xn, u1).Scale(-0.5 * h)
-			for i := 0; i < n; i++ {
-				jac.Add(i, i, 1)
+			if fac == nil || (it > 0 && it%newtonRefresh == 0) {
+				var err error
+				fac, err = ls.Factor(newtonMatrix(xn, u1, h))
+				if err != nil {
+					return nil, fmt.Errorf("ode: Newton Jacobian singular at t=%g: %w", t, err)
+				}
 			}
-			f, err := lu.Factor(jac)
-			if err != nil {
-				return nil, fmt.Errorf("ode: Newton Jacobian singular at t=%g: %w", t, err)
-			}
-			f.Solve(g, g)
+			fac.Solve(g, g)
 			mat.Axpy(-1, g, xn)
 			if mat.NormInf(g) <= 1e-10*scale {
 				converged = true

@@ -19,14 +19,24 @@ import (
 // System is a (regularized) QLDAE in the trimmed form (2): x' = G1 x +
 // G2 (x⊗x) + G3 (x⊗x⊗x) + Σ D1_i x u_i + B u, y = L x. Any of G2, G3,
 // D1 may be nil.
+//
+// G1 exists in up to two representations: the dense G1 and the CSR
+// mirror G1S. Small systems carry only the dense form; circuit builders
+// attach G1S so the solver layer can route large systems through the
+// sparse LU; and systems beyond the dense regime (n ≳ a few thousand)
+// may carry only G1S — at least one of the two must be present. Paths
+// that structurally need the dense form (the Schur-based H2/H3
+// associated solves, Hankel order selection, complex-frequency
+// verification) report an error on CSR-only systems.
 type System struct {
-	N  int          // state dimension
-	G1 *mat.Dense   // n×n
-	G2 *sparse.CSR  // n×n², nil if absent
-	G3 *sparse.CSR  // n×n³, nil if absent
-	D1 []*mat.Dense // one n×n block per input, nil entries/slice if absent
-	B  *mat.Dense   // n×m
-	L  *mat.Dense   // p×n output map
+	N   int          // state dimension
+	G1  *mat.Dense   // n×n, nil only when G1S is set
+	G1S *sparse.CSR  // optional n×n CSR mirror of G1
+	G2  *sparse.CSR  // n×n², nil if absent
+	G3  *sparse.CSR  // n×n³, nil if absent
+	D1  []*mat.Dense // one n×n block per input, nil entries/slice if absent
+	B   *mat.Dense   // n×m
+	L   *mat.Dense   // p×n output map
 }
 
 // Inputs returns the input count m.
@@ -38,8 +48,14 @@ func (s *System) Outputs() int { return s.L.R }
 // Validate checks dimensional consistency.
 func (s *System) Validate() error {
 	n := s.N
-	if s.G1 == nil || s.G1.R != n || s.G1.C != n {
+	if s.G1 == nil && s.G1S == nil {
+		return fmt.Errorf("qldae: G1 must be present (dense or CSR)")
+	}
+	if s.G1 != nil && (s.G1.R != n || s.G1.C != n) {
 		return fmt.Errorf("qldae: G1 must be %d×%d", n, n)
+	}
+	if s.G1S != nil && (s.G1S.Rows != n || s.G1S.Cols != n) {
+		return fmt.Errorf("qldae: G1S must be %d×%d, got %d×%d", n, n, s.G1S.Rows, s.G1S.Cols)
 	}
 	if s.G2 != nil && (s.G2.Rows != n || s.G2.Cols != n*n) {
 		return fmt.Errorf("qldae: G2 must be %d×%d, got %d×%d", n, n*n, s.G2.Rows, s.G2.Cols)
@@ -121,12 +137,22 @@ func solveCSR(f *lu.LU, m *sparse.CSR) *sparse.CSR {
 	return b.Build()
 }
 
+// MulG1 computes dst = G1·x through whichever representation is present
+// (CSR preferred when the dense form is absent).
+func (s *System) MulG1(dst, x []float64) {
+	if s.G1 != nil {
+		s.G1.MulVec(dst, x)
+		return
+	}
+	s.G1S.MulVec(dst, x)
+}
+
 // Eval computes dst = RHS(x, u).
 func (s *System) Eval(dst, x, u []float64) {
 	if len(x) != s.N || len(dst) != s.N || len(u) != s.Inputs() {
 		panic("qldae: Eval length mismatch")
 	}
-	s.G1.MulVec(dst, x)
+	s.MulG1(dst, x)
 	if s.G2 != nil {
 		s.G2.QuadAddApply(dst, 1, x, x)
 	}
@@ -155,7 +181,12 @@ func (s *System) Eval(dst, x, u []float64) {
 
 // Jacobian returns ∂RHS/∂x at (x, u) as a dense matrix.
 func (s *System) Jacobian(x, u []float64) *mat.Dense {
-	j := s.G1.Clone()
+	var j *mat.Dense
+	if s.G1 != nil {
+		j = s.G1.Clone()
+	} else {
+		j = s.G1S.Dense()
+	}
 	if s.G2 != nil {
 		s.G2.QuadJacobian(j.A, 1, x)
 	}
@@ -169,6 +200,50 @@ func (s *System) Jacobian(x, u []float64) *mat.Dense {
 		j.AddScaled(u[i], d)
 	}
 	return j
+}
+
+// JacobianCSR assembles ∂RHS/∂x at (x, u) directly in CSR form, never
+// touching n² dense entries: G1 nonzeros (CSR mirror preferred), the
+// quadratic/cubic Jacobian triplets, and the nonzeros of any active D1
+// blocks. This is the operand the sparse-direct Newton path of
+// ode.Trapezoidal factors once per step.
+func (s *System) JacobianCSR(x, u []float64) *sparse.CSR {
+	b := sparse.NewBuilder(s.N, s.N)
+	if s.G1S != nil {
+		g := s.G1S
+		for r := 0; r < g.Rows; r++ {
+			for k := g.RowPtr[r]; k < g.RowPtr[r+1]; k++ {
+				b.Add(r, g.ColIdx[k], g.Val[k])
+			}
+		}
+	} else {
+		for i := 0; i < s.N; i++ {
+			for j, v := range s.G1.Row(i) {
+				if v != 0 {
+					b.Add(i, j, v)
+				}
+			}
+		}
+	}
+	if s.G2 != nil {
+		s.G2.QuadJacobianVisit(1, x, b.Add)
+	}
+	if s.G3 != nil {
+		s.G3.CubeJacobianVisit(1, x, b.Add)
+	}
+	for i, d := range s.D1 {
+		if d == nil || u[i] == 0 {
+			continue
+		}
+		for r := 0; r < d.R; r++ {
+			for c, v := range d.Row(r) {
+				if v != 0 {
+					b.Add(r, c, u[i]*v)
+				}
+			}
+		}
+	}
+	return b.Build()
 }
 
 // Output computes y = L·x.
@@ -188,7 +263,12 @@ func (s *System) Project(v *mat.Dense) *System {
 	q := v.C
 	vt := v.T()
 	out := &System{N: q}
-	out.G1 = vt.Mul(s.G1).Mul(v)
+	if s.G1 != nil {
+		out.G1 = vt.Mul(s.G1).Mul(v)
+	} else {
+		// Vᵀ·(G1S·V): O(nnz·q) instead of O(n²·q).
+		out.G1 = vt.Mul(s.G1S.MulDense(v))
+	}
 	out.B = vt.Mul(s.B)
 	out.L = s.L.Mul(v)
 	if s.D1 != nil {

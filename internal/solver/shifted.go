@@ -1,0 +1,100 @@
+package solver
+
+import (
+	"sync"
+
+	"avtmor/internal/sparse"
+)
+
+// ShiftedCache caches factorizations of the shifted pencil G + σ·C per
+// expansion point σ, with C = I when no descriptor is supplied — the
+// paper's "compute the LU of G1 for once" amortization, shared across
+// H1/H2/H3 moment generation and across multipoint expansion
+// frequencies. It is safe for concurrent use, and concurrent requests
+// for distinct shifts factor in parallel (only same-shift requests
+// block on one another).
+type ShiftedCache struct {
+	g, c *Matrix // c == nil means identity
+	ls   LinearSolver
+
+	mu      sync.Mutex
+	entries map[float64]*shiftEntry
+}
+
+type shiftEntry struct {
+	once sync.Once
+	f    Factorization
+	err  error
+}
+
+// NewShiftedCache prepares a cache over G + σ·C for the given backend
+// (nil backend selects Auto). Pass c == nil for the identity descriptor
+// of the trimmed QLDAE form.
+func NewShiftedCache(g *Matrix, c *Matrix, ls LinearSolver) *ShiftedCache {
+	if ls == nil {
+		ls = Auto{}
+	}
+	return &ShiftedCache{g: g, c: c, ls: ls, entries: map[float64]*shiftEntry{}}
+}
+
+// Solver exposes the backend the cache factors through.
+func (sc *ShiftedCache) Solver() LinearSolver { return sc.ls }
+
+// Scale returns max |g_ij|, the reference for pivot-ratio checks.
+func (sc *ShiftedCache) Scale() float64 { return sc.g.MaxAbs() }
+
+// N returns the pencil dimension.
+func (sc *ShiftedCache) N() int { return sc.g.N() }
+
+// Factor returns the cached factorization of G + σ·C, computing it on
+// first use.
+func (sc *ShiftedCache) Factor(sigma float64) (Factorization, error) {
+	sc.mu.Lock()
+	e, ok := sc.entries[sigma]
+	if !ok {
+		e = &shiftEntry{}
+		sc.entries[sigma] = e
+	}
+	sc.mu.Unlock()
+	e.once.Do(func() {
+		e.f, e.err = sc.ls.Factor(sc.shifted(sigma))
+	})
+	return e.f, e.err
+}
+
+// shifted assembles G + σ·C in whichever representation the backend
+// will consume, without densifying a sparse-only G.
+func (sc *ShiftedCache) shifted(sigma float64) *Matrix {
+	if sigma == 0 {
+		return sc.g
+	}
+	if wantsDense(sc.ls, sc.g) {
+		d := sc.g.AsDense().Clone()
+		if sc.c == nil {
+			for i := 0; i < d.R; i++ {
+				d.Add(i, i, sigma)
+			}
+		} else {
+			d.AddScaled(sigma, sc.c.AsDense())
+		}
+		return FromDense(d)
+	}
+	g := sc.g.AsCSR()
+	var c *sparse.CSR
+	if sc.c == nil {
+		c = sparse.Eye(g.Rows)
+	} else {
+		c = sc.c.AsCSR()
+	}
+	return FromCSR(sparse.Add(1, g, sigma, c))
+}
+
+// wantsDense reports whether the backend would factor m densely, so the
+// shift is applied in the representation that will actually be used.
+func wantsDense(ls LinearSolver, m *Matrix) bool {
+	if a, ok := ls.(Auto); ok {
+		ls = a.Pick(m)
+	}
+	_, dense := ls.(Dense)
+	return dense
+}

@@ -1,0 +1,284 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"avtmor/internal/mat"
+	"avtmor/internal/sparse"
+)
+
+// Sparse LU: a left-looking Gilbert–Peierls factorization P·A·Q = L·U
+// over CSR input. Q is the fill-reducing RCM column preorder (order.go);
+// P is chosen per column by threshold pivoting — any row within
+// PivotTol of the column maximum is eligible, and the eligible row with
+// the fewest original nonzeros wins (the Markowitz bias toward sparse
+// pivot rows). Each column costs one symbolic reachability DFS over the
+// partial L plus a numeric scatter/gather, so the total work is
+// proportional to the flops of the fill-in actually produced, not n³.
+
+const defaultPivotTol = 0.1
+
+// spLU is the sparse Factorization.
+type spLU struct {
+	n       int
+	colperm []int // factored column k ↔ original column colperm[k]
+	prow    []int // pivot (original) row of step k
+	// L columns per step: original-row indices and multipliers, unit
+	// diagonal implicit. U columns per step: earlier-step indices and
+	// values, diagonal in d.
+	lrow [][]int
+	lval [][]float64
+	urow [][]int
+	uval [][]float64
+	d    []float64
+}
+
+// factorCSR computes the factorization; a is not modified.
+func factorCSR(a *sparse.CSR, pivotTol float64) (*spLU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("solver: sparse LU needs a square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	if pivotTol <= 0 || pivotTol > 1 {
+		pivotTol = defaultPivotTol
+	}
+	n := a.Rows
+	f := &spLU{
+		n:       n,
+		colperm: rcmOrder(a),
+		prow:    make([]int, n),
+		lrow:    make([][]int, n),
+		lval:    make([][]float64, n),
+		urow:    make([][]int, n),
+		uval:    make([][]float64, n),
+		d:       make([]float64, n),
+	}
+	// CSC view of A (column pointers into row-index/value arrays).
+	colPtr, rowIdx, vals := toCSC(a)
+	// Static Markowitz row weights: original nonzeros per row.
+	rowCount := make([]int, n)
+	for r := 0; r < n; r++ {
+		rowCount[r] = a.RowPtr[r+1] - a.RowPtr[r]
+	}
+	rowStep := make([]int, n) // original row → pivot step, -1 while unpivoted
+	for i := range rowStep {
+		rowStep[i] = -1
+	}
+	x := make([]float64, n)       // sparse accumulator over original rows
+	inPat := make([]int, n)       // stamp: row already in this column's pattern
+	visited := make([]int, n)     // stamp: step already on the DFS reach
+	pattern := make([]int, 0, 16) // nonzero original rows of the working column
+	topo := make([]int, 0, 16)    // reached steps in DFS postorder
+	dfsStack := make([]int, 0, 16)
+	posStack := make([]int, 0, 16)
+	scale := 0.0
+	for _, v := range a.Val {
+		if av := math.Abs(v); av > scale {
+			scale = av
+		}
+	}
+	for k := 0; k < n; k++ {
+		j := f.colperm[k]
+		stamp := k + 1
+		pattern = pattern[:0]
+		topo = topo[:0]
+		// Scatter A[:, j] and run the reachability DFS from its pivoted
+		// rows: step s reaches step t when prow[t] appears in L[:, s],
+		// and every row of a reached step's L column joins the pattern.
+		for p := colPtr[j]; p < colPtr[j+1]; p++ {
+			r := rowIdx[p]
+			x[r] = vals[p]
+			inPat[r] = stamp
+			pattern = append(pattern, r)
+		}
+		for p := colPtr[j]; p < colPtr[j+1]; p++ {
+			if s := rowStep[rowIdx[p]]; s >= 0 && visited[s] != stamp {
+				dfsStack = append(dfsStack[:0], s)
+				posStack = append(posStack[:0], 0)
+				visited[s] = stamp
+				for len(dfsStack) > 0 {
+					top := len(dfsStack) - 1
+					s := dfsStack[top]
+					advanced := false
+					for pos := posStack[top]; pos < len(f.lrow[s]); pos++ {
+						r := f.lrow[s][pos]
+						if inPat[r] != stamp {
+							inPat[r] = stamp
+							pattern = append(pattern, r)
+							x[r] = 0
+						}
+						if t := rowStep[r]; t >= 0 && visited[t] != stamp {
+							posStack[top] = pos + 1
+							dfsStack = append(dfsStack, t)
+							posStack = append(posStack, 0)
+							visited[t] = stamp
+							advanced = true
+							break
+						}
+					}
+					if !advanced {
+						topo = append(topo, s)
+						dfsStack = dfsStack[:top]
+						posStack = posStack[:top]
+					}
+				}
+			}
+		}
+		// Numeric left-looking updates in topological (reverse-postorder)
+		// dependency order.
+		for i := len(topo) - 1; i >= 0; i-- {
+			s := topo[i]
+			uv := x[f.prow[s]]
+			if uv != 0 {
+				lr, lv := f.lrow[s], f.lval[s]
+				for p, r := range lr {
+					x[r] -= lv[p] * uv
+				}
+			}
+			f.urow[k] = append(f.urow[k], s)
+			f.uval[k] = append(f.uval[k], uv)
+		}
+		// Pivot: max-magnitude row, relaxed to the sparsest row within
+		// pivotTol of the maximum.
+		best, vmax := -1, 0.0
+		for _, r := range pattern {
+			if rowStep[r] >= 0 {
+				continue
+			}
+			if av := math.Abs(x[r]); av > vmax {
+				vmax, best = av, r
+			}
+		}
+		if best < 0 || vmax == 0 || (scale > 0 && vmax < 1e-300*scale) {
+			return nil, fmt.Errorf("%w (column %d)", ErrSingular, j)
+		}
+		pivot := best
+		bestCount := rowCount[pivot]
+		for _, r := range pattern {
+			if rowStep[r] >= 0 || r == pivot {
+				continue
+			}
+			if av := math.Abs(x[r]); av >= pivotTol*vmax && rowCount[r] < bestCount {
+				pivot, bestCount = r, rowCount[r]
+			}
+		}
+		piv := x[pivot]
+		f.d[k] = piv
+		f.prow[k] = pivot
+		rowStep[pivot] = k
+		for _, r := range pattern {
+			if rowStep[r] >= 0 {
+				continue
+			}
+			if v := x[r]; v != 0 {
+				f.lrow[k] = append(f.lrow[k], r)
+				f.lval[k] = append(f.lval[k], v/piv)
+			}
+		}
+	}
+	return f, nil
+}
+
+// toCSC builds column-compressed access to a CSR matrix.
+func toCSC(a *sparse.CSR) (colPtr, rowIdx []int, vals []float64) {
+	n := a.Cols
+	colPtr = make([]int, n+1)
+	for _, c := range a.ColIdx {
+		colPtr[c+1]++
+	}
+	for c := 0; c < n; c++ {
+		colPtr[c+1] += colPtr[c]
+	}
+	rowIdx = make([]int, len(a.ColIdx))
+	vals = make([]float64, len(a.Val))
+	next := append([]int(nil), colPtr...)
+	for r := 0; r < a.Rows; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			c := a.ColIdx[k]
+			rowIdx[next[c]] = r
+			vals[next[c]] = a.Val[k]
+			next[c]++
+		}
+	}
+	return colPtr, rowIdx, vals
+}
+
+// N returns the matrix dimension.
+func (f *spLU) N() int { return f.n }
+
+// Solve computes x with A·x = b (dst may alias b).
+func (f *spLU) Solve(dst, b []float64) {
+	n := f.n
+	if len(b) != n || len(dst) != n {
+		panic("solver: sparse Solve length mismatch")
+	}
+	// Forward: L·z = b over steps, consuming the residual in row space.
+	res := mat.CopyVec(b)
+	z := make([]float64, n)
+	for k := 0; k < n; k++ {
+		zk := res[f.prow[k]]
+		z[k] = zk
+		if zk == 0 {
+			continue
+		}
+		lr, lv := f.lrow[k], f.lval[k]
+		for p, r := range lr {
+			res[r] -= lv[p] * zk
+		}
+	}
+	// Backward: U·w = z, column-oriented.
+	for k := n - 1; k >= 0; k-- {
+		wk := z[k] / f.d[k]
+		z[k] = wk
+		if wk == 0 {
+			continue
+		}
+		ur, uv := f.urow[k], f.uval[k]
+		for p, s := range ur {
+			z[s] -= uv[p] * wk
+		}
+	}
+	for k := 0; k < n; k++ {
+		dst[f.colperm[k]] = z[k]
+	}
+}
+
+// SolveMat solves A·X = B column by column.
+func (f *spLU) SolveMat(b *mat.Dense) *mat.Dense {
+	if b.R != f.n {
+		panic("solver: sparse SolveMat shape mismatch")
+	}
+	x := mat.NewDense(b.R, b.C)
+	col := make([]float64, b.R)
+	for j := 0; j < b.C; j++ {
+		for i := 0; i < b.R; i++ {
+			col[i] = b.At(i, j)
+		}
+		f.Solve(col, col)
+		x.SetCol(j, col)
+	}
+	return x
+}
+
+// MinAbsPivot returns min |U_kk|.
+func (f *spLU) MinAbsPivot() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	m := math.Abs(f.d[0])
+	for _, v := range f.d[1:] {
+		if a := math.Abs(v); a < m {
+			m = a
+		}
+	}
+	return m
+}
+
+// NNZ returns the stored factor nonzeros (fill diagnostics).
+func (f *spLU) NNZ() int {
+	nnz := f.n // diagonal
+	for k := 0; k < f.n; k++ {
+		nnz += len(f.lrow[k]) + len(f.urow[k])
+	}
+	return nnz
+}

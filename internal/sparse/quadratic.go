@@ -87,6 +87,25 @@ func (m *CSR) QuadJacobian(dst []float64, a float64, x []float64) {
 	}
 }
 
+// QuadJacobianVisit reports each entry of a·∂/∂x [G2·(x⊗x)] through
+// visit(row, col, val) — the triplet form the sparse Newton assembly of
+// package ode consumes instead of a dense n×n scatter.
+func (m *CSR) QuadJacobianVisit(a float64, x []float64, visit func(r, c int, v float64)) {
+	n := len(x)
+	if m.Cols != n*n {
+		panic("sparse: QuadJacobianVisit length mismatch")
+	}
+	m.quadIndex(n)
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			p, q := m.qp[k], m.qq[k]
+			v := a * m.Val[k]
+			visit(r, int(p), v*x[q])
+			visit(r, int(q), v*x[p])
+		}
+	}
+}
+
 // CubeApply computes dst = G3·(x⊗x⊗x) without forming the Kronecker cube.
 func (m *CSR) CubeApply(dst, x []float64) {
 	n := len(x)
@@ -119,6 +138,24 @@ func (m *CSR) CubeJacobian(dst []float64, a float64, x []float64) {
 			row[p] += v * x[q] * x[t]
 			row[q] += v * x[p] * x[t]
 			row[t] += v * x[p] * x[q]
+		}
+	}
+}
+
+// CubeJacobianVisit is the triplet-form counterpart of CubeJacobian.
+func (m *CSR) CubeJacobianVisit(a float64, x []float64, visit func(r, c int, v float64)) {
+	n := len(x)
+	if m.Cols != n*n*n {
+		panic("sparse: CubeJacobianVisit length mismatch")
+	}
+	m.cubeIndex(n)
+	for r := 0; r < m.Rows; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			p, q, t := m.cp[k], m.cq[k], m.cr[k]
+			v := a * m.Val[k]
+			visit(r, int(p), v*x[q]*x[t])
+			visit(r, int(q), v*x[p]*x[t])
+			visit(r, int(t), v*x[p]*x[q])
 		}
 	}
 }

@@ -153,6 +153,79 @@ func FromDense(d *mat.Dense) *CSR {
 	return b.Build()
 }
 
+// Eye returns the n×n identity in CSR form.
+func Eye(n int) *CSR {
+	m := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1), ColIdx: make([]int, n), Val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = i + 1
+		m.ColIdx[i] = i
+		m.Val[i] = 1
+	}
+	return m
+}
+
+// Add returns alpha·a + beta·b for same-shape operands (b may be nil,
+// giving alpha·a). The row-merge keeps the result sorted without a
+// builder round-trip, so shifted-system assembly (G + s·C) is O(nnz).
+func Add(alpha float64, a *CSR, beta float64, b *CSR) *CSR {
+	if b == nil {
+		out := &CSR{Rows: a.Rows, Cols: a.Cols,
+			RowPtr: append([]int(nil), a.RowPtr...),
+			ColIdx: append([]int(nil), a.ColIdx...),
+			Val:    make([]float64, len(a.Val))}
+		for i, v := range a.Val {
+			out.Val[i] = alpha * v
+		}
+		return out
+	}
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("sparse: Add shape mismatch")
+	}
+	out := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int, a.Rows+1)}
+	for r := 0; r < a.Rows; r++ {
+		ka, ea := a.RowPtr[r], a.RowPtr[r+1]
+		kb, eb := b.RowPtr[r], b.RowPtr[r+1]
+		for ka < ea || kb < eb {
+			switch {
+			case kb >= eb || (ka < ea && a.ColIdx[ka] < b.ColIdx[kb]):
+				out.ColIdx = append(out.ColIdx, a.ColIdx[ka])
+				out.Val = append(out.Val, alpha*a.Val[ka])
+				ka++
+			case ka >= ea || b.ColIdx[kb] < a.ColIdx[ka]:
+				out.ColIdx = append(out.ColIdx, b.ColIdx[kb])
+				out.Val = append(out.Val, beta*b.Val[kb])
+				kb++
+			default:
+				out.ColIdx = append(out.ColIdx, a.ColIdx[ka])
+				out.Val = append(out.Val, alpha*a.Val[ka]+beta*b.Val[kb])
+				ka++
+				kb++
+			}
+		}
+		out.RowPtr[r+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// MulDense computes M·X for a dense right factor, O(nnz·X.C).
+func (m *CSR) MulDense(x *mat.Dense) *mat.Dense {
+	if m.Cols != x.R {
+		panic("sparse: MulDense shape mismatch")
+	}
+	out := mat.NewDense(m.Rows, x.C)
+	for r := 0; r < m.Rows; r++ {
+		orow := out.Row(r)
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			v := m.Val[k]
+			xrow := x.Row(m.ColIdx[k])
+			for j, xv := range xrow {
+				orow[j] += v * xv
+			}
+		}
+	}
+	return out
+}
+
 // T returns the transpose as a new CSR.
 func (m *CSR) T() *CSR {
 	b := NewBuilder(m.Cols, m.Rows)
