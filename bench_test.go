@@ -11,9 +11,11 @@ package avtmor_test
 // exactly how Table 1 is laid out in the paper.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"avtmor"
 	"avtmor/internal/circuits"
 	"avtmor/internal/core"
 	"avtmor/internal/exper"
@@ -260,6 +262,43 @@ func BenchmarkReduceSerialN500(b *testing.B)    { benchReduceMultipoint(b, 500, 
 func BenchmarkReduceParallelN500(b *testing.B)  { benchReduceMultipoint(b, 500, true) }
 func BenchmarkReduceSerialN2000(b *testing.B)   { benchReduceMultipoint(b, 2000, false) }
 func BenchmarkReduceParallelN2000(b *testing.B) { benchReduceMultipoint(b, 2000, true) }
+
+// --- Reducer service: cold reduction vs ROM-cache hit ---
+//
+// The pair quantifies what the request-level cache buys: the cold
+// path pays the full multipoint Reduce of a 499-state RLC line, the
+// cached path is one map lookup behind a mutex. Baselines live in
+// BENCH_solver.json next to the solver-spine entries.
+
+func reducerBenchOpts() (*avtmor.Workload, []avtmor.Option) {
+	w := avtmor.RLCLine(250) // 499 states, ~2.5 nnz/row
+	return w, []avtmor.Option{avtmor.WithOrders(6, 0, 0), avtmor.WithExpansion(0, 0.4, 0.9)}
+}
+
+func BenchmarkReducerColdN500(b *testing.B) {
+	w, opts := reducerBenchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd := avtmor.NewReducer() // fresh service: every iteration reduces
+		if _, err := rd.Reduce(context.Background(), w.System, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReducerCachedN500(b *testing.B) {
+	w, opts := reducerBenchOpts()
+	rd := avtmor.NewReducer()
+	if _, err := rd.Reduce(context.Background(), w.System, opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rd.Reduce(context.Background(), w.System, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkSolverKronSum3N102(b *testing.B) {
 	w := circuits.Varistor()

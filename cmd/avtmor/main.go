@@ -1,7 +1,8 @@
 // Command avtmor regenerates the evaluation of "Fast Nonlinear Model Order
 // Reduction via Associated Transforms of High-Order Volterra Transfer
 // Functions" (DAC 2012): transient figures 2–5, the runtime Table 1, and
-// the §4 subspace-growth ablation.
+// the §4 subspace-growth ablation, all driven through the public avtmor
+// API (the experiment harness internal/exper sits on the facade).
 //
 // Usage:
 //
@@ -10,6 +11,11 @@
 // "scale" runs the sparse-direct solver-spine experiment on ≥1000-state
 // RLC transmission lines (dense vs sparse LU backends, CSR-only regime);
 // it is not part of "all" because its dense half is deliberately slow.
+//
+// Targets are validated before anything runs: an unknown target, a
+// duplicate, or a figure listed alongside "all" (which already covers
+// it) prints the usage and exits non-zero without burning minutes on
+// the experiments that preceded it on the command line.
 //
 // Each experiment prints a summary to stdout; figure experiments also
 // write their series as CSV files under -out (default "results").
@@ -25,13 +31,18 @@ import (
 	"avtmor/internal/exper"
 )
 
+var targetOrder = []string{"fig2", "fig3", "fig4", "fig5", "table1", "ablation", "scale"}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: avtmor [-out DIR] [target ...]\n")
+	fmt.Fprintf(os.Stderr, "targets: %v, or \"all\" (= every target except scale); default all\n", targetOrder)
+	flag.PrintDefaults()
+}
+
 func main() {
+	flag.Usage = usage
 	out := flag.String("out", "results", "directory for CSV figure series")
 	flag.Parse()
-	targets := flag.Args()
-	if len(targets) == 0 {
-		targets = []string{"all"}
-	}
 	runners := map[string]func() (*exper.Report, error){
 		"fig2":     exper.Fig2,
 		"fig3":     exper.Fig3,
@@ -41,26 +52,58 @@ func main() {
 		"ablation": exper.Ablation,
 		"scale":    exper.Scale,
 	}
-	order := []string{"fig2", "fig3", "fig4", "fig5", "table1", "ablation", "scale"}
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+	// Validate the whole command line up front: a typo in the last
+	// target must not cost the runtime of the first ones, and a
+	// duplicate — literal, or a target "all" already covers — almost
+	// certainly is not what the caller meant.
+	inAll := map[string]bool{} // everything in targetOrder except scale
+	for _, t := range targetOrder {
+		inAll[t] = t != "scale"
+	}
+	seen := map[string]bool{}
+	hasAll := false
+	for _, t := range targets {
+		if t == "all" {
+			hasAll = true
+		}
+	}
+	for _, t := range targets {
+		if t != "all" && runners[t] == nil {
+			fmt.Fprintf(os.Stderr, "avtmor: unknown target %q\n", t)
+			usage()
+			os.Exit(2)
+		}
+		if seen[t] {
+			fmt.Fprintf(os.Stderr, "avtmor: duplicate target %q\n", t)
+			usage()
+			os.Exit(2)
+		}
+		if hasAll && inAll[t] {
+			fmt.Fprintf(os.Stderr, "avtmor: target %q is already included in \"all\"\n", t)
+			usage()
+			os.Exit(2)
+		}
+		seen[t] = true
+	}
 	var reports []*exper.Report
 	for _, t := range targets {
-		switch {
-		case t == "all":
+		if t == "all" {
 			rs, err := exper.All()
 			if err != nil {
 				fatal(err)
 			}
 			reports = append(reports, rs...)
-		case runners[t] != nil:
-			r, err := runners[t]()
-			if err != nil {
-				fatal(err)
-			}
-			reports = append(reports, r)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (choose from %v or all)\n", t, order)
-			os.Exit(2)
+			continue
 		}
+		r, err := runners[t]()
+		if err != nil {
+			fatal(err)
+		}
+		reports = append(reports, r)
 	}
 	for _, r := range reports {
 		fmt.Printf("== %s ==\n", r.Title)

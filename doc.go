@@ -1,11 +1,28 @@
-// Package avtmor reproduces "Fast Nonlinear Model Order Reduction via
-// Associated Transforms of High-Order Volterra Transfer Functions"
-// (Y. Zhang, H. Liu, Q. Wang, N. Fong, N. Wong — DAC 2012, pp. 289–294)
-// as a self-contained, stdlib-only Go library.
+// Package avtmor reduces quadratic-linear differential-algebraic
+// systems (QLDAEs) by the associated-transform nonlinear model order
+// reduction of "Fast Nonlinear Model Order Reduction via Associated
+// Transforms of High-Order Volterra Transfer Functions" (Y. Zhang,
+// H. Liu, Q. Wang, N. Fong, N. Wong — DAC 2012, pp. 289–294), as a
+// self-contained, stdlib-only Go library.
 //
-// The implementation lives under internal/: see internal/core for the
-// reduction entry points (Reduce, ReduceNORM), internal/assoc for the
-// associated-transform realizations, and DESIGN.md for the full system
-// inventory. cmd/avtmor regenerates every table and figure of the paper's
+// This package is the public facade; the engine lives under internal/
+// (see DESIGN.md for the boundary). The typical flow is
+//
+//	sys, _ := avtmor.ParseNetlist(f)            // or SystemBuilder / workload constructors
+//	rom, _ := avtmor.Reduce(ctx, sys,
+//	        avtmor.WithOrders(6, 3, 2),
+//	        avtmor.WithExpansion(0.5),
+//	        avtmor.WithParallel())
+//	res, _ := rom.Simulate(ctx, u, tEnd, avtmor.WithTrapezoidal(4000))
+//
+// Reductions honor context cancellation down to the Krylov-step and
+// sparse-LU-column granularity. A ROM is a durable artifact: it
+// serializes to a versioned binary format (WriteTo/ReadFrom,
+// bit-exact round trip) and reloaded ROMs simulate identically. The
+// Reducer type adds a concurrency-safe ROM cache with singleflight
+// semantics — N concurrent identical requests trigger one reduction —
+// for serving ROMs under load.
+//
+// cmd/avtmor regenerates every table and figure of the paper's
 // evaluation; bench_test.go wraps the same experiments as benchmarks.
 package avtmor

@@ -1,17 +1,16 @@
 // Netlist example: parse a SPICE-like description of a diode clipper
 // chain, let the builder quadratic-linearize the exponential diodes, then
-// reduce and simulate.
+// reduce and simulate — all through the public avtmor API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"strings"
 
-	"avtmor/internal/core"
-	"avtmor/internal/netlist"
-	"avtmor/internal/ode"
+	"avtmor"
 )
 
 const clipper = `
@@ -34,29 +33,33 @@ R4 n4 0 2.0
 `
 
 func main() {
-	ckt, err := netlist.Parse(strings.NewReader(clipper))
+	ctx := context.Background()
+	sys, err := avtmor.ParseNetlist(strings.NewReader(clipper))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("parsed:", ckt.Summary())
-
-	sys, err := ckt.Build()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("QLDAE: n = %d (4 nodes + 3 diode states), D1 present = %v\n",
-		sys.N, sys.D1 != nil)
+	fmt.Println("parsed:", sys.Description())
+	fmt.Printf("QLDAE: n = %d (4 nodes + 3 diode states), bilinear D1 present = %v\n",
+		sys.States(), sys.HasBilinear())
 
 	// The exact linearization leaves neutral manifold directions in G1, so
 	// expand off DC (paper §4, non-DC expansion).
-	rom, err := core.Reduce(sys, core.Options{K1: 4, K2: 2, K3: 1, S0: 0.4})
+	rom, err := avtmor.Reduce(ctx, sys,
+		avtmor.WithOrders(4, 2, 1),
+		avtmor.WithExpansion(0.4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ROM order %d from %d candidates\n", rom.Order(), rom.Stats.Candidates)
+	fmt.Printf("ROM order %d from %d candidates\n", rom.Order(), rom.Stats().Candidates)
 
 	u := func(t float64) []float64 { return []float64{0.08 * math.Sin(2*math.Pi*t/6)} }
-	full := ode.RK4(sys, make([]float64, sys.N), u, 24, 8000)
-	red := ode.RK4(rom.Sys, make([]float64, rom.Order()), u, 24, 8000)
-	fmt.Printf("max relative transient error: %.3g\n", ode.MaxRelErr(full, red, 0))
+	full, err := sys.Simulate(ctx, u, 24, avtmor.WithRK4(8000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	red, err := rom.Simulate(ctx, u, 24, avtmor.WithRK4(8000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max relative transient error: %.3g\n", avtmor.MaxRelErr(full, red, 0))
 }

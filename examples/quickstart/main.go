@@ -1,57 +1,60 @@
-// Quickstart: build a small QLDAE by hand, reduce it with the
-// associated-transform method, and check the ROM in both the frequency
-// and the time domain.
+// Quickstart: build a small QLDAE through the public SystemBuilder,
+// reduce it with the associated-transform method, and check the ROM in
+// both the frequency and the time domain — everything through the
+// avtmor facade, no internal packages.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
-	"avtmor/internal/core"
-	"avtmor/internal/mat"
-	"avtmor/internal/ode"
-	"avtmor/internal/qldae"
-	"avtmor/internal/sparse"
+	"avtmor"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A 20-state RC chain with one quadratic conductance in the middle:
 	//   x' = G1·x + G2·(x⊗x) + b·u,  y = x_0.
 	const n = 20
-	g1 := mat.NewDense(n, n)
+	b := avtmor.NewSystemBuilder(n, 1, 1)
 	for k := 0; k < n; k++ {
 		d := -0.5 // shunt loss keeps the slowest pole well off the origin
 		if k > 0 {
-			g1.Add(k, k-1, 1)
+			b.G1(k, k-1, 1)
 			d -= 1
 		}
 		if k < n-1 {
-			g1.Add(k, k+1, 1)
+			b.G1(k, k+1, 1)
 			d -= 1
 		}
-		g1.Add(k, k, d)
+		b.G1(k, k, d)
 	}
-	g2 := sparse.NewBuilder(n, n*n)
-	g2.Add(1, 1*n+1, -0.2) // i = 0.2·v² near the driven/observed node
-	b := mat.NewDense(n, 1)
-	b.Set(0, 0, 1)
-	l := mat.NewDense(1, n)
-	l.Set(0, 0, 1) // observe the driven node (like the paper's NTL figures)
-	sys := &qldae.System{N: n, G1: g1, G2: g2.Build(), B: b, L: l}
-
-	// Reduce: match 4 moments of H1(s), 2 of the associated A2(H2)(s),
-	// and 1 of A3(H3)(s), all about s0 = 0. Parallel fans the
-	// independent moment generators out over goroutines (the ROM is
-	// identical to the serial one); the solver backend is auto-routed —
-	// dense LU at this size, sparse LU for large circuits such as
-	// circuits.RLCLine (see README "Large circuits").
-	rom, err := core.Reduce(sys, core.Options{K1: 4, K2: 2, K3: 1, Parallel: true})
+	b.G2(1, 1, 1, -0.2) // i = 0.2·v² near the driven/observed node
+	b.B(0, 0, 1)
+	b.L(0, 0, 1) // observe the driven node (like the paper's NTL figures)
+	sys, err := b.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("reduced %d states -> %d (method %s, %d candidate vectors)\n",
-		sys.N, rom.Order(), rom.Method, rom.Stats.Candidates)
+
+	// Reduce: match 4 moments of H1(s), 2 of the associated A2(H2)(s),
+	// and 1 of A3(H3)(s), all about s0 = 0. WithParallel fans the
+	// independent moment generators out over goroutines (the ROM is
+	// identical to the serial one); the solver backend is auto-routed —
+	// dense LU at this size, sparse LU for large circuits such as
+	// avtmor.RLCLine (see examples/large_line).
+	rom, err := avtmor.Reduce(ctx, sys,
+		avtmor.WithOrders(4, 2, 1),
+		avtmor.WithParallel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := rom.Stats()
+	fmt.Printf("reduced %d states -> %d (method %s, %d candidate vectors, %d factorizations)\n",
+		sys.States(), rom.Order(), rom.Method(), st.Candidates, st.Factorizations)
 
 	// Frequency-domain check near the expansion point.
 	for _, s := range []complex128{0.05, 0.05i, 0.2 + 0.1i} {
@@ -62,7 +65,13 @@ func main() {
 
 	// Time-domain check: drive both models with the same input.
 	u := func(t float64) []float64 { return []float64{0.4 * math.Sin(0.4*t) * math.Exp(-t/10)} }
-	full := ode.RK4(sys, make([]float64, n), u, 20, 4000)
-	red := ode.RK4(rom.Sys, make([]float64, rom.Order()), u, 20, 4000)
-	fmt.Printf("transient max relative error: %.2e\n", ode.MaxRelErr(full, red, 0))
+	full, err := sys.Simulate(ctx, u, 20, avtmor.WithRK4(4000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	red, err := rom.Simulate(ctx, u, 20, avtmor.WithRK4(4000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transient max relative error: %.2e\n", avtmor.MaxRelErr(full, red, 0))
 }

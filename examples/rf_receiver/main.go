@@ -1,45 +1,55 @@
 // MISO example (paper §3.3): reduce the two-input receiver chain and
 // compare against the NORM baseline — the workload behind Fig. 4 and the
-// second block of Table 1.
+// second block of Table 1 — and serve repeated requests through the
+// concurrent ROM-caching Reducer.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"avtmor/internal/circuits"
-	"avtmor/internal/core"
-	"avtmor/internal/ode"
+	"avtmor"
 )
 
 func main() {
-	w := circuits.RFReceiver()
-	fmt.Printf("workload %q: n = %d, inputs = %d\n", w.Name, w.Sys.N, w.Sys.Inputs())
+	ctx := context.Background()
+	w := avtmor.RFReceiver()
+	fmt.Printf("workload %q: n = %d, inputs = %d\n", w.Name, w.System.States(), w.System.Inputs())
 
-	opt := core.Options{K1: 4, K2: 2, S0: w.S0}
-	prop, err := core.Reduce(w.Sys, opt)
+	opts := []avtmor.Option{avtmor.WithOrders(4, 2, 0), avtmor.WithExpansion(w.S0)}
+	// A Reducer caches ROMs by (system fingerprint, options): the second
+	// identical request below is a pure cache hit, and concurrent
+	// identical requests would coalesce onto one reduction.
+	rd := avtmor.NewReducer()
+	prop, err := rd.Reduce(ctx, w.System, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	norm, err := core.ReduceNORM(w.Sys, opt)
+	norm, err := rd.ReduceNORM(ctx, w.System, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if _, err := rd.Reduce(ctx, w.System, opts...); err != nil {
+		log.Fatal(err)
+	}
+	st := rd.Stats()
 	fmt.Printf("proposed ROM order %d   |   NORM ROM order %d (same moment counts)\n",
 		prop.Order(), norm.Order())
+	fmt.Printf("reducer: %d reductions, %d cache hits, %d cached ROMs\n",
+		st.Reductions, st.CacheHits, st.CachedROMs)
 
-	x0 := make([]float64, w.Sys.N)
-	full, err := ode.Trapezoidal(w.Sys, x0, w.U, w.TEnd, w.Steps)
+	full, err := w.Simulate(ctx, w.System)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range []*core.ROM{prop, norm} {
-		red, err := ode.Trapezoidal(r.Sys, make([]float64, r.Order()), w.U, w.TEnd, w.Steps)
+	for _, r := range []*avtmor.ROM{prop, norm} {
+		red, err := w.Simulate(ctx, r)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-6s q=%2d  max transient rel err %.3g\n",
-			r.Method, r.Order(), ode.MaxRelErr(full, red, 0))
+			r.Method(), r.Order(), avtmor.MaxRelErr(full, red, 0))
 	}
 
 	// Per-pair second-order transfer accuracy of the proposed ROM.

@@ -1,32 +1,40 @@
 // Transmission-line example (paper §3.1): quadratic-linearize the
 // exp-diode RC line driven by a voltage source, reduce it with the
 // associated-transform method, and print the transient comparison — the
-// workload behind Fig. 2.
+// workload behind Fig. 2, on the public avtmor API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"avtmor/internal/circuits"
-	"avtmor/internal/core"
-	"avtmor/internal/ode"
+	"avtmor"
 )
 
 func main() {
-	w := circuits.NTLVoltage(50) // 50 stages → 100 states (v + z)
-	fmt.Printf("workload %q: n = %d, D1 nonzero = %v, expansion s0 = %g\n",
-		w.Name, w.Sys.N, w.Sys.D1 != nil, w.S0)
+	ctx := context.Background()
+	w := avtmor.NTLVoltage(50) // 50 stages → 100 states (v + z)
+	fmt.Printf("workload %q: n = %d, bilinear D1 = %v, expansion s0 = %g\n",
+		w.Name, w.System.States(), w.System.HasBilinear(), w.S0)
 
-	rom, err := core.Reduce(w.Sys, core.Options{K1: 7, K2: 4, K3: 2, S0: w.S0})
+	rom, err := avtmor.Reduce(ctx, w.System,
+		avtmor.WithOrders(7, 4, 2),
+		avtmor.WithExpansion(w.S0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ROM order %d (built in %v)\n", rom.Order(), rom.Stats.Build)
+	fmt.Printf("ROM order %d (built in %v)\n", rom.Order(), rom.Stats().Build)
 
-	full := ode.RK4(w.Sys, make([]float64, w.Sys.N), w.U, w.TEnd, w.Steps)
-	red := ode.RK4(rom.Sys, make([]float64, rom.Order()), w.U, w.TEnd, w.Steps)
-	fmt.Printf("max relative transient error: %.3g\n", ode.MaxRelErr(full, red, 0))
+	full, err := w.Simulate(ctx, w.System)
+	if err != nil {
+		log.Fatal(err)
+	}
+	red, err := w.Simulate(ctx, rom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max relative transient error: %.3g\n", avtmor.MaxRelErr(full, red, 0))
 
 	// Print a coarse waveform table (node-0 voltage).
 	fmt.Println("\n   t        full          ROM")

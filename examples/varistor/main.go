@@ -1,38 +1,41 @@
 // Surge-protection example (paper §3.4): the cubic ZnO varistor circuit,
 // reduced through the ⊕³ Kronecker-sum solver, simulated with the
-// implicit trapezoidal integrator — the workload behind Fig. 5.
+// implicit trapezoidal integrator — the workload behind Fig. 5, on the
+// public avtmor API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"avtmor/internal/circuits"
-	"avtmor/internal/core"
-	"avtmor/internal/ode"
+	"avtmor"
 )
 
 func main() {
-	w := circuits.Varistor()
-	fmt.Printf("workload %q: n = %d states, cubic branches = %d\n",
-		w.Name, w.Sys.N, w.Sys.G3.NNZ())
+	ctx := context.Background()
+	w := avtmor.Varistor()
+	fmt.Printf("workload %q: n = %d states, cubic term present = %v\n",
+		w.Name, w.System.States(), w.System.HasCubic())
 
-	rom, err := core.Reduce(w.Sys, core.Options{K1: 7, K3: 2, S0: w.S0})
+	rom, err := avtmor.Reduce(ctx, w.System,
+		avtmor.WithOrders(7, 0, 2),
+		avtmor.WithExpansion(w.S0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ROM order %d (matched %d H1 + %d cubic A3(H3) moments at s0=%g)\n",
-		rom.Order(), 7, 2, w.S0)
+	fmt.Printf("ROM order %d (matched 7 H1 + 2 cubic A3(H3) moments at s0=%g)\n",
+		rom.Order(), w.S0)
 
-	full, err := ode.Trapezoidal(w.Sys, make([]float64, w.Sys.N), w.U, w.TEnd, w.Steps)
+	full, err := w.Simulate(ctx, w.System)
 	if err != nil {
 		log.Fatal(err)
 	}
-	red, err := ode.Trapezoidal(rom.Sys, make([]float64, rom.Order()), w.U, w.TEnd, w.Steps)
+	red, err := w.Simulate(ctx, rom)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("max relative transient error: %.3g\n", ode.MaxRelErr(full, red, 0))
+	fmt.Printf("max relative transient error: %.3g\n", avtmor.MaxRelErr(full, red, 0))
 
 	fmt.Println("\n   t    surge (kV)   protected full   protected ROM")
 	for _, tt := range []float64{0.5, 1, 2, 4, 8, 15, 25} {

@@ -12,6 +12,7 @@
 package assoc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -41,6 +42,7 @@ type Realization struct {
 	Sys *qldae.System
 	gt2 *Gt2
 	sc  *solver.ShiftedCache // cache: (G1 − τI) factorizations
+	ctx context.Context      // cancels the Krylov chains and factor steps
 
 	mu     sync.Mutex
 	s2     *kron.SumSolver2 // (⊕²G1 − σI)⁻¹ via Schur(G1), lazy
@@ -57,17 +59,38 @@ func New(sys *qldae.System) (*Realization, error) {
 // NewWithSolver prepares the realization with an explicit linear-solver
 // backend (nil selects solver.Auto).
 func NewWithSolver(sys *qldae.System, ls solver.LinearSolver) (*Realization, error) {
+	return NewWithSolverCtx(context.Background(), sys, ls)
+}
+
+// NewWithSolverCtx is NewWithSolver bound to a context: every moment
+// chain, resolvent power, and shifted factor step of this realization
+// polls ctx and aborts with its error once the caller gives up. One
+// Realization serves one Reduce call, so binding the context at
+// construction keeps the per-iteration hot paths signature-stable.
+func NewWithSolverCtx(ctx context.Context, sys *qldae.System, ls solver.LinearSolver) (*Realization, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	r := &Realization{
 		Sys:    sys,
 		sc:     solver.NewShiftedCache(solver.Operand(sys.G1, sys.G1S), nil, ls),
+		ctx:    ctx,
 		luCplx: map[complex128]*lu.CLU{},
 	}
 	r.gt2 = &Gt2{r: r}
 	return r, nil
 }
+
+// SolverStats reports the shifted-factorization cache counters (factor
+// steps actually paid, cache hits) for the observability layer.
+func (r *Realization) SolverStats() solver.CacheStats { return r.sc.Stats() }
+
+// SolverBackend names the backend the shifted pencil actually factors
+// through (Auto resolved to its routing decision).
+func (r *Realization) SolverBackend() string { return r.sc.BackendName() }
 
 // Sum2 returns the lazily-built Kronecker-sum solver over Schur(G1).
 // The H2/H3 structured solves need the dense G1; CSR-only systems get
@@ -103,7 +126,7 @@ func (r *Realization) Gt2Solver() *Gt2 { return r.gt2 }
 // shiftedLU returns a cached factorization of (G1 − τI) from the
 // solver-backed shift cache.
 func (r *Realization) shiftedLU(tau float64) (solver.Factorization, error) {
-	f, err := r.sc.Factor(-tau)
+	f, err := r.sc.FactorCtx(r.ctx, -tau)
 	if err != nil {
 		return nil, fmt.Errorf("assoc: (G1 − %g·I) singular: %w", tau, err)
 	}
@@ -178,8 +201,13 @@ func (g *Gt2) Dim() int {
 	return n + n*n
 }
 
-// SolveShifted computes (G̃2 − τI)⁻¹·rhs for real τ.
+// SolveShifted computes (G̃2 − τI)⁻¹·rhs for real τ. It is the inner
+// solve of every H2 Arnoldi step and of each H3 resolvent column, so
+// the ctx poll here is what makes those chains cancelable.
 func (g *Gt2) SolveShifted(tau float64, rhs []float64) ([]float64, error) {
+	if err := g.r.ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := g.r.Sys.N
 	if len(rhs) != n+n*n {
 		panic("assoc: Gt2 SolveShifted length mismatch")

@@ -133,6 +133,9 @@ func (r *Realization) H2CandidatesDecoupled(k2 int, s0 float64) ([][]float64, er
 			mat.Axpy(1, top, seed)
 			cur := seed
 			for k := 0; k < k2; k++ {
+				if err := r.ctx.Err(); err != nil {
+					return nil, err
+				}
 				next := make([]float64, n)
 				f.Solve(next, cur)
 				if nn := mat.Norm2(next); nn > 0 {

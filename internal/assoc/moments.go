@@ -30,6 +30,9 @@ func (r *Realization) H1Moments(k1 int, s0 float64) ([][]float64, error) {
 	for in := 0; in < r.Sys.Inputs(); in++ {
 		w := r.Sys.B.Col(in)
 		for k := 0; k < k1; k++ {
+			if err := r.ctx.Err(); err != nil {
+				return nil, err
+			}
 			next := make([]float64, len(w))
 			op.Apply(next, w)
 			if n2 := mat.Norm2(next); n2 > 0 {
@@ -173,6 +176,9 @@ func (r *Realization) H3Moments(k3 int, s0 float64) ([][]float64, error) {
 	// Table c[j][i] = M^{−(i+1)}·w_j.
 	table := make([][][]float64, len(ws))
 	for j := range ws {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur := ws[j]
 		for i := 0; i+j < k3; i++ {
 			next := make([]float64, n)
@@ -233,6 +239,9 @@ func (r *Realization) H3MomentsCubic(s3 *kron.SumSolver3, k3 int, s0 float64) ([
 	z := kron.VecKron(kron.VecKron(b, b), b)
 	ws := make([][]float64, 0, k3)
 	for j := 0; j < k3; j++ {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
 		z, err = s3.Solve(s0, z)
 		if err != nil {
 			return nil, fmt.Errorf("assoc: cubic resolvent power %d: %w", j+1, err)

@@ -13,9 +13,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"avtmor/internal/assoc"
@@ -62,6 +64,21 @@ type Options struct {
 	// ordering — and therefore the ROM — is identical to the serial
 	// path; only wall-clock changes.
 	Parallel bool
+	// Progress, when non-nil, receives coarse build events: one per
+	// completed moment-generator task plus the orthonormalize/project
+	// tail. With Parallel it may be called from multiple goroutines
+	// concurrently, and events may be observed out of order (each Done
+	// value is delivered exactly once, but a consumer should take the
+	// max, not assume monotone arrival).
+	Progress func(Progress)
+}
+
+// Progress is one build event for Options.Progress.
+type Progress struct {
+	// Stage is "moments", "orthonormalize", or "project".
+	Stage string
+	// Done/Total count completed vs scheduled units within the stage.
+	Done, Total int
 }
 
 func (o Options) dropTol() float64 {
@@ -92,6 +109,16 @@ type Stats struct {
 	// Build is the wall-clock time of subspace construction + projection
 	// (the "Arnoldi" row of Table 1).
 	Build time.Duration
+	// Backend names the linear-solver backend that actually factored
+	// the shifted pencils ("dense" or "sparse"; the Auto policy is
+	// resolved to its per-operand routing decision).
+	Backend string
+	// Factorizations counts the shifted-pencil factor steps actually
+	// paid; SolveCacheHits counts the factor requests answered by
+	// solver.ShiftedCache instead — the paper's "LU of G1 for once"
+	// amortization made observable.
+	Factorizations int64
+	SolveCacheHits int64
 }
 
 // Order returns the reduced dimension q.
@@ -104,6 +131,14 @@ func (r *ROM) Order() int { return r.Sys.N }
 // (they are independent Krylov chains — §2.3's "can be computed in
 // parallel" remark) while the candidate ordering stays deterministic.
 func Reduce(sys *qldae.System, opt Options) (*ROM, error) {
+	return ReduceContext(context.Background(), sys, opt)
+}
+
+// ReduceContext is Reduce with cooperative cancellation: ctx is
+// threaded through every moment chain, Arnoldi step, and shifted
+// factorization (including the sparse-LU column loop), so a canceled
+// reduction returns within one Krylov step's worth of work.
+func ReduceContext(ctx context.Context, sys *qldae.System, opt Options) (*ROM, error) {
 	start := time.Now()
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -111,7 +146,7 @@ func Reduce(sys *qldae.System, opt Options) (*ROM, error) {
 	if opt.K1 <= 0 && opt.K2 <= 0 && opt.K3 <= 0 {
 		return nil, errors.New("core: at least one moment count must be positive")
 	}
-	r, err := assoc.NewWithSolver(sys, solver.ByKind(opt.Solver))
+	r, err := assoc.NewWithSolverCtx(ctx, sys, solver.ByKind(opt.Solver))
 	if err != nil {
 		return nil, err
 	}
@@ -125,21 +160,40 @@ func Reduce(sys *qldae.System, opt Options) (*ROM, error) {
 	wantH3 := wantH2 && opt.K3 > 0 && sys.Inputs() == 1
 	wantH3Cubic := sys.G3 != nil && opt.K3 > 0 && sys.Inputs() == 1
 	slots := make([]genOut, 2*len(points)+2)
+	scheduled := len(points)
+	if wantH2 {
+		scheduled += len(points)
+	}
+	if wantH3 {
+		scheduled++
+	}
+	if wantH3Cubic {
+		scheduled++
+	}
+	var completed atomic.Int64
+	taskDone := func() {
+		done := completed.Add(1)
+		if opt.Progress != nil {
+			opt.Progress(Progress{Stage: "moments", Done: int(done), Total: scheduled})
+		}
+	}
 	var wg sync.WaitGroup
 	failed := false // serial mode short-circuits after the first error
 	run := func(slot int, f func() ([][]float64, error)) {
 		if !opt.Parallel {
-			if failed {
+			if failed || ctx.Err() != nil {
 				return
 			}
 			slots[slot].cols, slots[slot].err = f()
 			failed = slots[slot].err != nil
+			taskDone()
 			return
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			slots[slot].cols, slots[slot].err = f()
+			taskDone()
 		}()
 	}
 	for i, s0 := range points {
@@ -194,6 +248,9 @@ func Reduce(sys *qldae.System, opt Options) (*ROM, error) {
 		})
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var cols [][]float64
 	for _, s := range slots {
 		if s.err != nil {
@@ -201,14 +258,40 @@ func Reduce(sys *qldae.System, opt Options) (*ROM, error) {
 		}
 		cols = append(cols, s.cols...)
 	}
-	return finish(sys, cols, opt, "assoc", start)
+	rom, err := finish(ctx, sys, cols, opt, "assoc", start)
+	if err != nil {
+		return nil, err
+	}
+	rom.fillSolverStats(r.SolverBackend(), r.SolverStats())
+	return rom, nil
 }
 
-// finish orthonormalizes the candidate set and projects.
-func finish(sys *qldae.System, cols [][]float64, opt Options, method string, start time.Time) (*ROM, error) {
+// fillSolverStats copies the shifted-cache observability counters into
+// the ROM's stats. backend is the backend that actually factored the
+// pencil (Auto resolved), not the requested policy.
+func (r *ROM) fillSolverStats(backend string, cs solver.CacheStats) {
+	r.Stats.Backend = backend
+	r.Stats.Factorizations = cs.Factorizations
+	r.Stats.SolveCacheHits = cs.Hits
+}
+
+// finish orthonormalizes the candidate set and projects. ctx is
+// polled around the orthonormalize/projection tail so a canceled
+// reduction reports cancellation deterministically instead of
+// completing (and, via the Reducer, being cached) by accident.
+func finish(ctx context.Context, sys *qldae.System, cols [][]float64, opt Options, method string, start time.Time) (*ROM, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opt.Progress != nil {
+		opt.Progress(Progress{Stage: "orthonormalize", Done: 0, Total: 1})
+	}
 	v := qr.Orthonormalize(cols, opt.dropTol())
 	if v == nil {
 		return nil, errors.New("core: all candidate vectors deflated; nothing to project onto")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	rom := &ROM{
 		V:      v,
@@ -220,6 +303,9 @@ func finish(sys *qldae.System, cols [][]float64, opt Options, method string, sta
 		Candidates: len(cols),
 		Order:      v.C,
 		Build:      time.Since(start),
+	}
+	if opt.Progress != nil {
+		opt.Progress(Progress{Stage: "project", Done: 1, Total: 1})
 	}
 	return rom, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -29,6 +30,13 @@ import (
 //
 // with Mr = G1 − r·s0·I and w ranging over the H2 state-moment generators.
 func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
+	return ReduceNORMContext(context.Background(), sys, opt)
+}
+
+// ReduceNORMContext is ReduceNORM with cooperative cancellation: the
+// multivariate generator loops poll ctx per moment chain, which is what
+// bounds NORM's O(k2³)/O(k3⁴) blow-up when the caller gives up.
+func ReduceNORMContext(ctx context.Context, sys *qldae.System, opt Options) (*ROM, error) {
 	start := time.Now()
 	if err := sys.Validate(); err != nil {
 		return nil, err
@@ -43,7 +51,7 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 	// as in the associated-transform path.
 	sc := solver.NewShiftedCache(solver.Operand(sys.G1, sys.G1S), nil, solver.ByKind(opt.Solver))
 	factor := func(r float64) (solver.Factorization, error) {
-		f, err := sc.Factor(-r * opt.S0)
+		f, err := sc.FactorCtx(ctx, -r*opt.S0)
 		if err != nil {
 			return nil, fmt.Errorf("core: NORM shift %g: %w", r*opt.S0, err)
 		}
@@ -58,6 +66,23 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Coarse per-stage progress: NORM's generator loops are monolithic
+	// (no per-point fan-out like the associated path), so one event per
+	// Volterra stage is the honest granularity.
+	momentStages := 1
+	if opt.K2 > 0 && (sys.G2 != nil || sys.D1 != nil) {
+		momentStages++
+	}
+	if opt.K3 > 0 && m == 1 {
+		momentStages++
+	}
+	stagesDone := 0
+	stageDone := func() {
+		stagesDone++
+		if opt.Progress != nil {
+			opt.Progress(Progress{Stage: "moments", Done: stagesDone, Total: momentStages})
+		}
+	}
 	var cols [][]float64
 
 	// H1 chains h^i_a (kept unnormalized within a chain so the products
@@ -66,6 +91,9 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 	kH1 := max(opt.K1, max(opt.K2, opt.K3))
 	h := make([][][]float64, m)
 	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cur := sys.B.Col(i)
 		for a := 0; a < kH1; a++ {
 			next := make([]float64, n)
@@ -79,6 +107,7 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 			cols = append(cols, mat.CopyVec(h[i][a]))
 		}
 	}
+	stageDone()
 
 	// H2 multivariate moments. w-pool entries remember their total degree
 	// for reuse by the H3 stage.
@@ -100,6 +129,9 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 		for i := 0; i < m; i++ {
 			for j := i; j < m; j++ {
 				for a := 0; a < kk; a++ {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
 					for b := 0; b < kk; b++ {
 						if sys.G2 == nil {
 							break
@@ -157,6 +189,7 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 				}
 			}
 		}
+		stageDone()
 	}
 
 	// H3 multivariate moments (SISO).
@@ -169,6 +202,9 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 			for _, w := range wPool {
 				if w.deg >= opt.K3 {
 					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
 				}
 				for a := 0; a < opt.K3; a++ {
 					g := make([]float64, n)
@@ -195,6 +231,9 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 		}
 		if sys.G3 != nil {
 			for a := 0; a < opt.K3; a++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				for b := a; b < opt.K3; b++ {
 					for c := b; c < opt.K3; c++ {
 						g := make([]float64, n)
@@ -210,6 +249,7 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 				}
 			}
 		}
+		stageDone()
 	}
 	// NORM as published performs no rank-revealing deflation — its ROM
 	// order equals the generator count (the "ad hoc order choice" of §4).
@@ -218,5 +258,10 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 	if opt.DropTol == 0 {
 		opt.DropTol = 1e-14
 	}
-	return finish(sys, cols, opt, "norm", start)
+	rom, err := finish(ctx, sys, cols, opt, "norm", start)
+	if err != nil {
+		return nil, err
+	}
+	rom.fillSolverStats(sc.BackendName(), sc.Stats())
+	return rom, nil
 }

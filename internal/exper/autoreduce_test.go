@@ -1,46 +1,39 @@
 package exper
 
 import (
+	"context"
 	"testing"
 
-	"avtmor/internal/circuits"
-	"avtmor/internal/core"
-	"avtmor/internal/ode"
+	"avtmor"
 )
 
 // TestAutoReduceOnNTL closes the §4 loop end to end: Hankel-singular-value
 // order selection on the Fig.-3 circuit must yield a compact, accurate ROM
-// without any hand-picked moment counts.
+// without any hand-picked moment counts — through the public facade
+// (WithAutoOrders).
 func TestAutoReduceOnNTL(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure-level experiment; run without -short (nightly CI job)")
 	}
-	w := circuits.NTLCurrent(70)
-	opt, err := core.SuggestOrders(w.Sys, 1e-5)
+	w := avtmor.NTLCurrent(70)
+	rom, err := avtmor.Reduce(context.Background(), w.System,
+		avtmor.WithAutoOrders(1e-5), avtmor.WithExpansion(w.S0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if opt.K1 < 2 || opt.K1 > 30 {
-		t.Fatalf("suggested k1 = %d implausible", opt.K1)
-	}
-	opt.S0 = w.S0
-	rom, err := core.Reduce(w.Sys, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rom.Order() >= w.Sys.N/2 {
+	if rom.Order() >= w.System.States()/2 {
 		t.Fatalf("auto-selected ROM barely reduces: q = %d", rom.Order())
 	}
-	full, _, err := simulate(w, w.Sys)
+	full, _, err := simulate(w, w.System)
 	if err != nil {
 		t.Fatal(err)
 	}
-	red, _, err := simulate(w, rom.Sys)
+	red, _, err := simulate(w, rom)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e := ode.MaxRelErr(full, red, 0); e > 1e-2 {
+	if e := avtmor.MaxRelErr(full, red, 0); e > 1e-2 {
 		t.Fatalf("auto-selected ROM transient error %g", e)
 	}
-	t.Logf("auto-selected k=(%d,%d,%d) → q=%d", opt.K1, opt.K2, opt.K3, rom.Order())
+	t.Logf("auto-selected → q=%d (from %d candidates)", rom.Order(), rom.Stats().Candidates)
 }

@@ -4,17 +4,20 @@
 // reports and writes the figure series as CSV; bench_test.go wraps the
 // same entry points in testing.B benchmarks; EXPERIMENTS.md records the
 // measured outcomes against the paper's.
+//
+// The harness consumes the public avtmor facade — workload
+// constructors, functional-options Reduce, Model simulation — so it
+// doubles as an end-to-end exercise of the API surface the library
+// ships; only diagnostics reach into internal packages.
 package exper
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
 
-	"avtmor/internal/circuits"
-	"avtmor/internal/core"
-	"avtmor/internal/ode"
-	"avtmor/internal/qldae"
+	"avtmor"
 )
 
 // Report is the result of one experiment.
@@ -41,76 +44,84 @@ func (r *Report) metric(k string, v float64) {
 	r.Metrics[k] = v
 }
 
-// simulate runs the workload-appropriate integrator on sys.
-func simulate(w *circuits.Workload, sys *qldae.System) (*ode.Result, time.Duration, error) {
-	x0 := make([]float64, sys.N)
+// simulate runs the workload-appropriate integrator on m and times it.
+func simulate(w *avtmor.Workload, m avtmor.Model) (*avtmor.Result, time.Duration, error) {
 	start := time.Now()
-	var res *ode.Result
-	var err error
-	if w.Stiff {
-		res, err = ode.Trapezoidal(sys, x0, w.U, w.TEnd, w.Steps)
-	} else {
-		res = ode.RK4(sys, x0, w.U, w.TEnd, w.Steps)
-	}
+	res, err := w.Simulate(context.Background(), m)
 	return res, time.Since(start), err
+}
+
+// solverMetrics records the observability counters of a reduction
+// under a metric prefix and returns the human-readable fragment.
+func (r *Report) solverMetrics(prefix string, st avtmor.Stats) string {
+	r.metric(prefix+"_factorizations", float64(st.Factorizations))
+	r.metric(prefix+"_cache_hits", float64(st.SolveCacheHits))
+	return fmt.Sprintf("solver %s, %d factorizations, %d cache hits",
+		st.Backend, st.Factorizations, st.SolveCacheHits)
 }
 
 // transientCompare reduces the workload with the given methods, simulates
 // everything, and fills the common parts of a report. The returned
 // results map holds "full", "prop", and optionally "norm" trajectories.
-func transientCompare(rep *Report, w *circuits.Workload, opt core.Options, withNORM bool) (map[string]*ode.Result, error) {
-	full, tFull, err := simulate(w, w.Sys)
+func transientCompare(rep *Report, w *avtmor.Workload, opts []avtmor.Option, withNORM bool) (map[string]*avtmor.Result, error) {
+	ctx := context.Background()
+	full, tFull, err := simulate(w, w.System)
 	if err != nil {
 		return nil, fmt.Errorf("%s: full simulation: %w", rep.ID, err)
 	}
-	rep.metric("full_order", float64(w.Sys.N))
+	rep.metric("full_order", float64(w.System.States()))
 	rep.metric("full_ode_ms", float64(tFull.Milliseconds()))
 
-	prop, err := core.Reduce(w.Sys, opt)
+	prop, err := avtmor.Reduce(ctx, w.System, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: Reduce: %w", rep.ID, err)
 	}
-	propRes, tProp, err := simulate(w, prop.Sys)
+	propRes, tProp, err := simulate(w, prop)
 	if err != nil {
 		return nil, fmt.Errorf("%s: proposed ROM simulation: %w", rep.ID, err)
 	}
+	propStats := prop.Stats()
 	rep.metric("prop_order", float64(prop.Order()))
-	rep.metric("prop_arnoldi_ms", float64(prop.Stats.Build.Milliseconds()))
+	rep.metric("prop_arnoldi_ms", float64(propStats.Build.Milliseconds()))
 	rep.metric("prop_ode_ms", float64(tProp.Milliseconds()))
-	rep.metric("prop_maxrelerr", ode.MaxRelErr(full, propRes, 0))
+	rep.metric("prop_maxrelerr", avtmor.MaxRelErr(full, propRes, 0))
 
-	out := map[string]*ode.Result{"full": full, "prop": propRes}
+	out := map[string]*avtmor.Result{"full": full, "prop": propRes}
+	var normSolverLine string
 	if withNORM {
-		nm, err := core.ReduceNORM(w.Sys, opt)
+		nm, err := avtmor.ReduceNORM(ctx, w.System, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("%s: ReduceNORM: %w", rep.ID, err)
 		}
-		nmRes, tNorm, err := simulate(w, nm.Sys)
+		nmRes, tNorm, err := simulate(w, nm)
 		if err != nil {
 			return nil, fmt.Errorf("%s: NORM ROM simulation: %w", rep.ID, err)
 		}
 		rep.metric("norm_order", float64(nm.Order()))
-		rep.metric("norm_arnoldi_ms", float64(nm.Stats.Build.Milliseconds()))
+		rep.metric("norm_arnoldi_ms", float64(nm.Stats().Build.Milliseconds()))
 		rep.metric("norm_ode_ms", float64(tNorm.Milliseconds()))
-		rep.metric("norm_maxrelerr", ode.MaxRelErr(full, nmRes, 0))
+		rep.metric("norm_maxrelerr", avtmor.MaxRelErr(full, nmRes, 0))
+		normSolverLine = rep.solverMetrics("norm", nm.Stats())
 		out["norm"] = nmRes
 	}
 
-	rep.addLine("full model: n = %d, ODE solve %v", w.Sys.N, tFull.Round(time.Millisecond))
+	rep.addLine("full model: n = %d, ODE solve %v", w.System.States(), tFull.Round(time.Millisecond))
 	rep.addLine("proposed ROM: q = %d (from %d candidates), build %v, ODE solve %v, max rel err %.3g",
-		prop.Order(), prop.Stats.Candidates, prop.Stats.Build.Round(time.Millisecond),
+		prop.Order(), propStats.Candidates, propStats.Build.Round(time.Millisecond),
 		tProp.Round(time.Millisecond), rep.Metrics["prop_maxrelerr"])
+	rep.addLine("proposed ROM %s", rep.solverMetrics("prop", propStats))
 	if withNORM {
 		rep.addLine("NORM ROM: q = %.0f, build %.0f ms, ODE solve %.0f ms, max rel err %.3g",
 			rep.Metrics["norm_order"], rep.Metrics["norm_arnoldi_ms"],
 			rep.Metrics["norm_ode_ms"], rep.Metrics["norm_maxrelerr"])
+		rep.addLine("NORM ROM %s", normSolverLine)
 	}
 	return out, nil
 }
 
 // buildCSV samples the trajectories onto the full model's grid (thinned to
 // at most maxRows rows).
-func buildCSV(results map[string]*ode.Result, order []string, maxRows int) [][]string {
+func buildCSV(results map[string]*avtmor.Result, order []string, maxRows int) [][]string {
 	full := results["full"]
 	stride := 1
 	if len(full.T) > maxRows {

@@ -1,11 +1,11 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"avtmor/internal/circuits"
-	"avtmor/internal/core"
+	"avtmor"
 )
 
 // Fig2 regenerates §3.1/Fig. 2: the voltage-driven quadratic-linearized
@@ -14,9 +14,9 @@ import (
 // error. The paper reports a 13th-order ROM from a 100-state full model.
 func Fig2() (*Report, error) {
 	rep := &Report{ID: "fig2", Title: "Fig. 2 — NTL with voltage source (QLDAE with D1)"}
-	w := circuits.NTLVoltage(50)
-	opt := core.Options{K1: 7, K2: 4, K3: 2, S0: w.S0}
-	results, err := transientCompare(rep, w, opt, false)
+	w := avtmor.NTLVoltage(50)
+	opts := []avtmor.Option{avtmor.WithOrders(7, 4, 2), avtmor.WithExpansion(w.S0)}
+	results, err := transientCompare(rep, w, opts, false)
 	if err != nil {
 		return nil, err
 	}
@@ -30,9 +30,9 @@ func Fig2() (*Report, error) {
 // proposed ROM's repeated simulation ~61% faster than NORM's.
 func Fig3() (*Report, error) {
 	rep := &Report{ID: "fig3", Title: "Fig. 3 / Table 1 — NTL with current source (no D1)"}
-	w := circuits.NTLCurrent(70)
-	opt := core.Options{K1: 6, K2: 3, K3: 2, S0: w.S0}
-	results, err := transientCompare(rep, w, opt, true)
+	w := avtmor.NTLCurrent(70)
+	opts := []avtmor.Option{avtmor.WithOrders(6, 3, 2), avtmor.WithExpansion(w.S0)}
+	results, err := transientCompare(rep, w, opts, true)
 	if err != nil {
 		return nil, err
 	}
@@ -49,9 +49,9 @@ func Fig3() (*Report, error) {
 // (4, 2) per input/pair. The paper reports 14 vs 27 states.
 func Fig4() (*Report, error) {
 	rep := &Report{ID: "fig4", Title: "Fig. 4 / Table 1 — MISO RF receiver"}
-	w := circuits.RFReceiver()
-	opt := core.Options{K1: 4, K2: 2, S0: w.S0}
-	results, err := transientCompare(rep, w, opt, true)
+	w := avtmor.RFReceiver()
+	opts := []avtmor.Option{avtmor.WithOrders(4, 2, 0), avtmor.WithExpansion(w.S0)}
+	results, err := transientCompare(rep, w, opts, true)
 	if err != nil {
 		return nil, err
 	}
@@ -69,9 +69,9 @@ func Fig4() (*Report, error) {
 // 8-state ROM.
 func Fig5() (*Report, error) {
 	rep := &Report{ID: "fig5", Title: "Fig. 5 — ZnO varistor surge protection (cubic)"}
-	w := circuits.Varistor()
-	opt := core.Options{K1: 7, K3: 2, S0: w.S0}
-	results, err := transientCompare(rep, w, opt, false)
+	w := avtmor.Varistor()
+	opts := []avtmor.Option{avtmor.WithOrders(7, 0, 2), avtmor.WithExpansion(w.S0)}
+	results, err := transientCompare(rep, w, opts, false)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +92,8 @@ func speedup(rep *Report) float64 {
 
 // Table1 regenerates the full runtime table from the Fig. 3 and Fig. 4
 // workloads: subspace-construction ("Arnoldi") and ODE-solve wall times
-// for the original model and both ROMs.
+// for the original model and both ROMs, plus the solver-spine counters
+// (backend, factorizations, shifted-cache hits) behind the Arnoldi row.
 func Table1() (*Report, error) {
 	rep := &Report{ID: "table1", Title: "Table 1 — runtime comparison (proposed vs NORM)"}
 	f3, err := Fig3()
@@ -113,6 +114,8 @@ func Table1() (*Report, error) {
 		rep.addLine("%-22s %12s %9.0f ms %9.0f ms", "  Arnoldi", "—", m["prop_arnoldi_ms"], m["norm_arnoldi_ms"])
 		rep.addLine("%-22s %9.0f ms %9.0f ms %9.0f ms", "  ODE solve", m["full_ode_ms"], m["prop_ode_ms"], m["norm_ode_ms"])
 		rep.addLine("%-22s %12.0f %12.0f %12.0f", "  ROM order", m["full_order"], m["prop_order"], m["norm_order"])
+		rep.addLine("%-22s %12s %12.0f %12.0f", "  factorizations", "—", m["prop_factorizations"], m["norm_factorizations"])
+		rep.addLine("%-22s %12s %12.0f %12.0f", "  solve-cache hits", "—", m["prop_cache_hits"], m["norm_cache_hits"])
 		for k, v := range m {
 			rep.metric(blk.r.ID+"_"+k, v)
 		}
@@ -125,19 +128,20 @@ func Table1() (*Report, error) {
 // the Fig. 3 system.
 func Ablation() (*Report, error) {
 	rep := &Report{ID: "ablation", Title: "§4 — subspace growth: proposed vs NORM"}
-	w := circuits.NTLCurrent(70)
+	ctx := context.Background()
+	w := avtmor.NTLCurrent(70)
 	rep.addLine("%4s %18s %18s", "k", "proposed order", "NORM order")
 	csv := [][]string{{"k", "prop_order", "prop_candidates", "norm_order", "norm_candidates", "prop_build_ms", "norm_build_ms"}}
 	for k := 1; k <= 4; k++ {
-		opt := core.Options{K1: k, K2: k, K3: k, S0: w.S0}
+		opts := []avtmor.Option{avtmor.WithOrders(k, k, k), avtmor.WithExpansion(w.S0)}
 		start := time.Now()
-		p, err := core.Reduce(w.Sys, opt)
+		p, err := avtmor.Reduce(ctx, w.System, opts...)
 		if err != nil {
 			return nil, err
 		}
 		pBuild := time.Since(start)
 		start = time.Now()
-		nm, err := core.ReduceNORM(w.Sys, opt)
+		nm, err := avtmor.ReduceNORM(ctx, w.System, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -146,8 +150,8 @@ func Ablation() (*Report, error) {
 		rep.metric(fmt.Sprintf("prop_order_k%d", k), float64(p.Order()))
 		rep.metric(fmt.Sprintf("norm_order_k%d", k), float64(nm.Order()))
 		csv = append(csv, []string{
-			fmt.Sprint(k), fmt.Sprint(p.Order()), fmt.Sprint(p.Stats.Candidates),
-			fmt.Sprint(nm.Order()), fmt.Sprint(nm.Stats.Candidates),
+			fmt.Sprint(k), fmt.Sprint(p.Order()), fmt.Sprint(p.Stats().Candidates),
+			fmt.Sprint(nm.Order()), fmt.Sprint(nm.Stats().Candidates),
 			fmt.Sprint(pBuild.Milliseconds()), fmt.Sprint(nBuild.Milliseconds()),
 		})
 	}

@@ -1,17 +1,12 @@
 package exper
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"math/cmplx"
 	"time"
 
-	"avtmor/internal/assoc"
-	"avtmor/internal/circuits"
-	"avtmor/internal/core"
+	"avtmor"
 	"avtmor/internal/mat"
-	"avtmor/internal/ode"
-	"avtmor/internal/solver"
 )
 
 // Scale exercises the sparse-direct spine beyond the paper's circuit
@@ -38,9 +33,11 @@ func Scale() (*Report, error) {
 
 	// Part 2: CSR-only regime (no dense G1 exists), reduction plus a
 	// sparse-Newton full-order reference on a short window.
-	big := circuits.RLCLine(2000) // n = 3999, CSR-only
+	ctx := context.Background()
+	big := avtmor.RLCLine(2000) // n = 3999, CSR-only
 	start := time.Now()
-	romBig, err := core.Reduce(big.Sys, core.Options{K1: 10, Solver: solver.KindSparse, Parallel: true})
+	romBig, err := avtmor.Reduce(ctx, big.System,
+		avtmor.WithOrders(10, 0, 0), avtmor.WithSolver(avtmor.SolverSparse), avtmor.WithParallel())
 	if err != nil {
 		return nil, fmt.Errorf("scale: CSR-only Reduce: %w", err)
 	}
@@ -49,20 +46,21 @@ func Scale() (*Report, error) {
 		tEnd  = 10.0
 		steps = 400
 	)
-	x0 := make([]float64, big.Sys.N)
 	start = time.Now()
-	full, err := ode.TrapezoidalSolver(big.Sys, x0, big.U, tEnd, steps, solver.Sparse{})
+	full, err := big.System.Simulate(ctx, big.U, tEnd,
+		avtmor.WithTrapezoidal(steps), avtmor.WithSimSolver(avtmor.SolverSparse))
 	if err != nil {
 		return nil, fmt.Errorf("scale: CSR-only transient: %w", err)
 	}
 	tFull := time.Since(start)
-	red, err := ode.Trapezoidal(romBig.Sys, make([]float64, romBig.Order()), big.U, tEnd, steps)
+	red, err := romBig.Simulate(ctx, big.U, tEnd, avtmor.WithTrapezoidal(steps))
 	if err != nil {
 		return nil, fmt.Errorf("scale: ROM transient: %w", err)
 	}
-	relErr := ode.MaxRelErr(full, red, 0)
+	relErr := avtmor.MaxRelErr(full, red, 0)
 	rep.addLine("n = %d CSR-only line: Reduce %v (q = %d), full sparse-Newton transient %v, ROM max rel err %.3g",
-		big.Sys.N, tBig.Round(time.Millisecond), romBig.Order(), tFull.Round(time.Millisecond), relErr)
+		big.System.States(), tBig.Round(time.Millisecond), romBig.Order(), tFull.Round(time.Millisecond), relErr)
+	rep.addLine("CSR-only Reduce %s", rep.solverMetrics("n3999", romBig.Stats()))
 	rep.metric("n3999_reduce_ms", float64(tBig.Milliseconds()))
 	rep.metric("n3999_order", float64(romBig.Order()))
 	rep.metric("n3999_maxrelerr", relErr)
@@ -90,20 +88,18 @@ var scaleFreqs = []complex128{0.02, 0.05i, 0.1 + 0.2i, 0.5i}
 // agreement. K1 = 8 keeps the tail of the Krylov chain well above
 // roundoff, so the two ROMs agree to ~1e-11 in transfer.
 func CompareBackends(sections, k1 int) (*BackendComparison, error) {
-	w := circuits.RLCLine(sections)
-	opt := core.Options{K1: k1, S0: 0}
-	optD := opt
-	optD.Solver = solver.KindDense
+	ctx := context.Background()
+	w := avtmor.RLCLine(sections)
 	start := time.Now()
-	romD, err := core.Reduce(w.Sys, optD)
+	romD, err := avtmor.Reduce(ctx, w.System,
+		avtmor.WithOrders(k1, 0, 0), avtmor.WithSolver(avtmor.SolverDense))
 	if err != nil {
 		return nil, fmt.Errorf("scale: dense Reduce: %w", err)
 	}
 	tDense := time.Since(start)
-	optS := opt
-	optS.Solver = solver.KindSparse
 	start = time.Now()
-	romS, err := core.Reduce(w.Sys, optS)
+	romS, err := avtmor.Reduce(ctx, w.System,
+		avtmor.WithOrders(k1, 0, 0), avtmor.WithSolver(avtmor.SolverSparse))
 	if err != nil {
 		return nil, fmt.Errorf("scale: sparse Reduce: %w", err)
 	}
@@ -116,37 +112,24 @@ func CompareBackends(sections, k1 int) (*BackendComparison, error) {
 		return nil, err
 	}
 	return &BackendComparison{
-		N: w.Sys.N, Order: romD.Order(),
+		N: w.System.States(), Order: romD.Order(),
 		DenseTime: tDense, SparseTime: tSparse, Mismatch: worst,
 	}, nil
 }
 
-// ROMTransferMismatch evaluates L̂·Ĥ1(s) of two reduced models at the
-// given frequencies and returns the worst relative deviation — the
+// ROMTransferMismatch evaluates the reduced H1 transfer of two ROMs at
+// the given frequencies and returns the worst relative deviation — the
 // backend-agreement check of the scale experiment and tests (both ROMs
 // are small, so the dense complex evaluation is cheap regardless of the
 // full-order size).
-func ROMTransferMismatch(a, b *core.ROM, freqs []complex128) (float64, error) {
-	evalRed := func(r *core.ROM, s complex128) ([]complex128, error) {
-		re, err := assoc.New(r.Sys)
-		if err != nil {
-			return nil, err
-		}
-		x, err := re.EvalH1(0, s)
-		if err != nil {
-			return nil, err
-		}
-		y := make([]complex128, r.Sys.L.R)
-		r.Sys.L.Complex().MulVec(y, x)
-		return y, nil
-	}
+func ROMTransferMismatch(a, b *avtmor.ROM, freqs []complex128) (float64, error) {
 	worst := 0.0
 	for _, s := range freqs {
-		ya, err := evalRed(a, s)
+		ya, err := a.TransferH1(0, s)
 		if err != nil {
 			return 0, fmt.Errorf("exper: ROM transfer at s=%v: %w", s, err)
 		}
-		yb, err := evalRed(b, s)
+		yb, err := b.TransferH1(0, s)
 		if err != nil {
 			return 0, fmt.Errorf("exper: ROM transfer at s=%v: %w", s, err)
 		}
@@ -154,11 +137,11 @@ func ROMTransferMismatch(a, b *core.ROM, freqs []complex128) (float64, error) {
 		if den == 0 {
 			den = 1
 		}
-		diff := 0.0
+		diff := make([]complex128, len(ya))
 		for i := range ya {
-			diff += cmplx.Abs(ya[i]-yb[i]) * cmplx.Abs(ya[i]-yb[i])
+			diff[i] = ya[i] - yb[i]
 		}
-		if d := math.Sqrt(diff) / den; d > worst {
+		if d := mat.CNorm2(diff) / den; d > worst {
 			worst = d
 		}
 	}

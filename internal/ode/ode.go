@@ -6,6 +6,7 @@
 package ode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -56,6 +57,13 @@ func (r *Result) OutputAt(t float64, ch int) float64 {
 // scheme from x0 over [0, tEnd] with nSteps steps, recording the output at
 // every step.
 func RK4(sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps int) *Result {
+	res, _ := RK4Ctx(context.Background(), sys, x0, u, tEnd, nSteps)
+	return res
+}
+
+// RK4Ctx is RK4 with cooperative cancellation: ctx is polled once per
+// step and the partial trajectory is discarded on abort.
+func RK4Ctx(ctx context.Context, sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps int) (*Result, error) {
 	n := sys.N
 	if len(x0) != n {
 		panic("ode: RK4 state length mismatch")
@@ -71,6 +79,9 @@ func RK4(sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps int) *Re
 	k4 := make([]float64, n)
 	xs := make([]float64, n)
 	for s := 0; s < nSteps; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := float64(s) * h
 		sys.Eval(k1, x, u(t))
 		for i := range xs {
@@ -92,7 +103,7 @@ func RK4(sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps int) *Re
 		res.T = append(res.T, t+h)
 		res.Y = append(res.Y, sys.Output(x))
 	}
-	return res
+	return res, nil
 }
 
 // dopri5 Butcher tableau (Dormand–Prince 5(4)).
@@ -117,6 +128,12 @@ var (
 // Dopri5 integrates with the adaptive Dormand–Prince 5(4) pair. rtol/atol
 // control the local error; outputs are recorded at every accepted step.
 func Dopri5(sys *qldae.System, x0 []float64, u Input, tEnd, rtol, atol float64) (*Result, error) {
+	return Dopri5Ctx(context.Background(), sys, x0, u, tEnd, rtol, atol)
+}
+
+// Dopri5Ctx is Dopri5 with cooperative cancellation (polled once per
+// attempted step).
+func Dopri5Ctx(ctx context.Context, sys *qldae.System, x0 []float64, u Input, tEnd, rtol, atol float64) (*Result, error) {
 	n := sys.N
 	x := mat.CopyVec(x0)
 	res := &Result{}
@@ -132,6 +149,9 @@ func Dopri5(sys *qldae.System, x0 []float64, u Input, tEnd, rtol, atol float64) 
 	hMin := tEnd * 1e-12
 	const maxSteps = 10_000_000
 	for t < tEnd {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if res.Steps+res.Rejected > maxSteps {
 			return nil, errors.New("ode: Dopri5 exceeded step budget")
 		}
@@ -189,7 +209,7 @@ func Dopri5(sys *qldae.System, x0 []float64, u Input, tEnd, rtol, atol float64) 
 // methods need punishing step sizes. Equivalent to TrapezoidalSolver with
 // the auto-routed backend.
 func Trapezoidal(sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps int) (*Result, error) {
-	return TrapezoidalSolver(sys, x0, u, tEnd, nSteps, nil)
+	return TrapezoidalSolverCtx(context.Background(), sys, x0, u, tEnd, nSteps, nil)
 }
 
 // newtonRefresh is the modified-Newton refactorization cadence: the
@@ -206,6 +226,14 @@ const newtonRefresh = 6
 // cutoff — so full-order reference simulations of large circuits pay
 // O(nnz·fill) per step, not O(n³) per Newton iteration.
 func TrapezoidalSolver(sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps int, ls solver.LinearSolver) (*Result, error) {
+	return TrapezoidalSolverCtx(context.Background(), sys, x0, u, tEnd, nSteps, ls)
+}
+
+// TrapezoidalSolverCtx is TrapezoidalSolver with cooperative
+// cancellation: ctx is polled once per step and inside the Newton
+// refactorization, so even a stiff large-system run aborts within one
+// factor-plus-a-few-solves of the cancel.
+func TrapezoidalSolverCtx(ctx context.Context, sys *qldae.System, x0 []float64, u Input, tEnd float64, nSteps int, ls solver.LinearSolver) (*Result, error) {
 	n := sys.N
 	if ls == nil {
 		ls = solver.Auto{}
@@ -246,6 +274,9 @@ func TrapezoidalSolver(sys *qldae.System, x0 []float64, u Input, tEnd float64, n
 	g := make([]float64, n)
 	const maxNewton = 25
 	for s := 0; s < nSteps; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := float64(s) * h
 		u0 := u(t)
 		u1 := u(t + h)
@@ -270,8 +301,11 @@ func TrapezoidalSolver(sys *qldae.System, x0 []float64, u Input, tEnd float64, n
 			}
 			if fac == nil || (it > 0 && it%newtonRefresh == 0) {
 				var err error
-				fac, err = ls.Factor(newtonMatrix(xn, u1, h))
+				fac, err = ls.FactorCtx(ctx, newtonMatrix(xn, u1, h))
 				if err != nil {
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
 					return nil, fmt.Errorf("ode: Newton Jacobian singular at t=%g: %w", t, err)
 				}
 			}

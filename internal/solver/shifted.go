@@ -1,7 +1,10 @@
 package solver
 
 import (
+	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 
 	"avtmor/internal/sparse"
 )
@@ -17,6 +20,9 @@ type ShiftedCache struct {
 	g, c *Matrix // c == nil means identity
 	ls   LinearSolver
 
+	factorizations atomic.Int64 // completed factor steps
+	hits           atomic.Int64 // Factor calls served from the cache
+
 	mu      sync.Mutex
 	entries map[float64]*shiftEntry
 }
@@ -25,6 +31,15 @@ type shiftEntry struct {
 	once sync.Once
 	f    Factorization
 	err  error
+}
+
+// CacheStats is the observable outcome of a ShiftedCache's lifetime:
+// how many pencils were actually factored and how many Factor calls
+// found a ready (or in-flight) entry instead. The layers above surface
+// these in core.Stats and the experiment reports.
+type CacheStats struct {
+	Factorizations int64
+	Hits           int64
 }
 
 // NewShiftedCache prepares a cache over G + σ·C for the given backend
@@ -40,25 +55,62 @@ func NewShiftedCache(g *Matrix, c *Matrix, ls LinearSolver) *ShiftedCache {
 // Solver exposes the backend the cache factors through.
 func (sc *ShiftedCache) Solver() LinearSolver { return sc.ls }
 
+// BackendName names the backend the pencil actually factors through:
+// for Auto it resolves the per-operand routing decision ("dense" or
+// "sparse"), so the observability layer reports what ran, not the
+// policy that was requested.
+func (sc *ShiftedCache) BackendName() string {
+	if a, ok := sc.ls.(Auto); ok {
+		return a.Pick(sc.g).Name()
+	}
+	return sc.ls.Name()
+}
+
 // Scale returns max |g_ij|, the reference for pivot-ratio checks.
 func (sc *ShiftedCache) Scale() float64 { return sc.g.MaxAbs() }
 
 // N returns the pencil dimension.
 func (sc *ShiftedCache) N() int { return sc.g.N() }
 
+// Stats reports factorization and hit counters.
+func (sc *ShiftedCache) Stats() CacheStats {
+	return CacheStats{Factorizations: sc.factorizations.Load(), Hits: sc.hits.Load()}
+}
+
 // Factor returns the cached factorization of G + σ·C, computing it on
 // first use.
 func (sc *ShiftedCache) Factor(sigma float64) (Factorization, error) {
+	return sc.FactorCtx(context.Background(), sigma)
+}
+
+// FactorCtx is Factor with cooperative cancellation. A factorization
+// aborted by ctx is NOT cached: the entry is evicted so a later request
+// (with a live context) recomputes it instead of inheriting the stale
+// cancellation error. Waiters that coalesce onto an in-flight factor
+// step block until it resolves, sharing the leader's outcome.
+func (sc *ShiftedCache) FactorCtx(ctx context.Context, sigma float64) (Factorization, error) {
 	sc.mu.Lock()
 	e, ok := sc.entries[sigma]
 	if !ok {
 		e = &shiftEntry{}
 		sc.entries[sigma] = e
+	} else {
+		sc.hits.Add(1)
 	}
 	sc.mu.Unlock()
 	e.once.Do(func() {
-		e.f, e.err = sc.ls.Factor(sc.shifted(sigma))
+		e.f, e.err = sc.ls.FactorCtx(ctx, sc.shifted(sigma))
+		if e.err == nil {
+			sc.factorizations.Add(1)
+		}
 	})
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		sc.mu.Lock()
+		if sc.entries[sigma] == e {
+			delete(sc.entries, sigma)
+		}
+		sc.mu.Unlock()
+	}
 	return e.f, e.err
 }
 

@@ -14,6 +14,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -154,6 +155,11 @@ type LinearSolver interface {
 	Name() string
 	// Factor computes a factorization of a; a is not modified.
 	Factor(a *Matrix) (Factorization, error)
+	// FactorCtx is Factor with cooperative cancellation: long
+	// factorizations (the sparse-LU column loop) poll ctx and abort with
+	// its error, so a caller that gives up on a reduction is not stuck
+	// behind an O(nnz·fill) factor step.
+	FactorCtx(ctx context.Context, a *Matrix) (Factorization, error)
 }
 
 // Dense is the dense-LU backend (partial pivoting, package lu).
@@ -164,6 +170,15 @@ func (Dense) Name() string { return "dense" }
 
 // Factor runs the dense LU.
 func (Dense) Factor(a *Matrix) (Factorization, error) {
+	return Dense.FactorCtx(Dense{}, context.Background(), a)
+}
+
+// FactorCtx runs the dense LU (the ctx is checked on entry only; the
+// dense kernel is a tight third-party-free loop kept check-free).
+func (Dense) FactorCtx(ctx context.Context, a *Matrix) (Factorization, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := lu.Factor(a.AsDense())
 	if err != nil {
 		return nil, err
@@ -186,7 +201,12 @@ func (Sparse) Name() string { return "sparse" }
 
 // Factor runs the sparse LU of splu.go.
 func (s Sparse) Factor(a *Matrix) (Factorization, error) {
-	return factorCSR(a.AsCSR(), s.PivotTol)
+	return factorCSR(context.Background(), a.AsCSR(), s.PivotTol)
+}
+
+// FactorCtx runs the sparse LU, polling ctx along the column loop.
+func (s Sparse) FactorCtx(ctx context.Context, a *Matrix) (Factorization, error) {
+	return factorCSR(ctx, a.AsCSR(), s.PivotTol)
 }
 
 // Auto routing thresholds: below AutoDenseCutoff states the dense LU's
@@ -224,6 +244,11 @@ func (a Auto) Pick(m *Matrix) LinearSolver {
 // Factor routes to the picked backend.
 func (a Auto) Factor(m *Matrix) (Factorization, error) {
 	return a.Pick(m).Factor(m)
+}
+
+// FactorCtx routes to the picked backend with cancellation.
+func (a Auto) FactorCtx(ctx context.Context, m *Matrix) (Factorization, error) {
+	return a.Pick(m).FactorCtx(ctx, m)
 }
 
 // Kind names a backend selection policy for the layers above (core's

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -157,7 +158,7 @@ func TestBandedFillStaysLinear(t *testing.T) {
 			b.Add(i, i+1, 1)
 		}
 	}
-	f, err := factorCSR(b.Build(), 0)
+	f, err := factorCSR(context.Background(), b.Build(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,8 +35,15 @@ type spLU struct {
 	d    []float64
 }
 
-// factorCSR computes the factorization; a is not modified.
-func factorCSR(a *sparse.CSR, pivotTol float64) (*spLU, error) {
+// ctxCheckStride is how many factored columns pass between ctx polls:
+// coarse enough to stay invisible in the profile, fine enough that a
+// canceled multi-thousand-column factorization aborts in well under a
+// Krylov-step's worth of work.
+const ctxCheckStride = 256
+
+// factorCSR computes the factorization; a is not modified. ctx is
+// polled every ctxCheckStride columns.
+func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("solver: sparse LU needs a square matrix, got %d×%d", a.Rows, a.Cols)
 	}
@@ -78,6 +86,11 @@ func factorCSR(a *sparse.CSR, pivotTol float64) (*spLU, error) {
 		}
 	}
 	for k := 0; k < n; k++ {
+		if k%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		j := f.colperm[k]
 		stamp := k + 1
 		pattern = pattern[:0]

@@ -1,0 +1,157 @@
+package avtmor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"avtmor/internal/core"
+	"avtmor/internal/solver"
+)
+
+// SolverKind selects the linear-solver backend for every shift-invert
+// factorization of a reduction.
+type SolverKind int
+
+const (
+	// SolverAuto routes each matrix to dense or sparse LU by dimension
+	// and nonzero density (the default).
+	SolverAuto SolverKind = iota
+	// SolverDense forces the dense LU with partial pivoting.
+	SolverDense
+	// SolverSparse forces the sparse LU (RCM preorder,
+	// threshold/Markowitz pivoting).
+	SolverSparse
+)
+
+// String names the kind ("auto", "dense", "sparse").
+func (k SolverKind) String() string { return k.kind().String() }
+
+func (k SolverKind) kind() solver.Kind {
+	switch k {
+	case SolverDense:
+		return solver.KindDense
+	case SolverSparse:
+		return solver.KindSparse
+	default:
+		return solver.KindAuto
+	}
+}
+
+// Progress is one reduction build event (see WithProgress).
+type Progress struct {
+	// Stage is "moments", "orthonormalize", or "project".
+	Stage string
+	// Done/Total count completed vs scheduled units within the stage.
+	Done, Total int
+}
+
+// config is the resolved option set of one Reduce call.
+type config struct {
+	opt     core.Options
+	autoTol float64 // > 0 selects Hankel-based order selection
+}
+
+// Option configures a reduction (functional options for Reduce,
+// ReduceNORM, and Reducer.Reduce).
+type Option func(*config)
+
+// WithOrders sets the matched moment counts k1, k2, k3 of H1(s),
+// A2(H2)(s), A3(H3)(s). Zero skips an order; at least one must be
+// positive unless WithAutoOrders is used.
+func WithOrders(k1, k2, k3 int) Option {
+	return func(c *config) { c.opt.K1, c.opt.K2, c.opt.K3 = k1, k2, k3; c.autoTol = 0 }
+}
+
+// WithAutoOrders selects the moment counts automatically from the
+// Hankel singular values of the linear part (the paper's §4 first
+// bullet), with tol the relative truncation threshold (0 selects
+// 1e-4). Requires a dense G1 and a strictly stable linear part.
+// Mutually exclusive with WithOrders: whichever comes last wins, and
+// any earlier explicit counts are discarded (they also stay out of
+// the Reducer cache key, so auto-order requests dedupe regardless of
+// what WithOrders preceded them).
+func WithAutoOrders(tol float64) Option {
+	return func(c *config) {
+		if tol <= 0 {
+			tol = 1e-4
+		}
+		c.autoTol = tol
+		c.opt.K1, c.opt.K2, c.opt.K3 = 0, 0, 0
+	}
+}
+
+// WithExpansion sets the (real) moment-expansion frequency s0 — 0 is
+// DC matching; systems with a structurally singular G1 must expand off
+// DC — plus optional further points for multipoint moment matching of
+// H1 and H2.
+func WithExpansion(s0 float64, extra ...float64) Option {
+	return func(c *config) { c.opt.S0, c.opt.ExtraPoints = s0, extra }
+}
+
+// WithSolver forces the linear-solver backend (default SolverAuto).
+func WithSolver(k SolverKind) Option {
+	return func(c *config) { c.opt.Solver = k.kind() }
+}
+
+// WithParallel fans the independent moment generators out over
+// goroutines — one per expansion point plus one per Volterra-3 branch.
+// The candidate ordering, and therefore the ROM, is identical to the
+// serial path; only wall-clock changes.
+func WithParallel() Option {
+	return func(c *config) { c.opt.Parallel = true }
+}
+
+// WithDropTol sets the deflation tolerance of the rank-revealing
+// orthonormalization (0 selects the method default: 1e-8 for the
+// associated transform, 1e-14 for NORM).
+func WithDropTol(tol float64) Option {
+	return func(c *config) { c.opt.DropTol = tol }
+}
+
+// WithDecoupledH2 selects the Eq.-(18) Sylvester-decoupled H2 moment
+// generation instead of the default block-triangular realization path
+// (span-equivalent; different cost profile).
+func WithDecoupledH2() Option {
+	return func(c *config) { c.opt.DecoupledH2 = true }
+}
+
+// WithProgress registers a callback for coarse build events. With
+// WithParallel it may be invoked from multiple goroutines. The
+// callback does not participate in Reducer cache keys.
+func WithProgress(fn func(Progress)) Option {
+	return func(c *config) {
+		if fn == nil {
+			c.opt.Progress = nil
+			return
+		}
+		c.opt.Progress = func(p core.Progress) {
+			fn(Progress{Stage: p.Stage, Done: p.Done, Total: p.Total})
+		}
+	}
+}
+
+func buildConfig(opts []Option) *config {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// cacheKey canonicalizes a reduction request for the Reducer: the
+// system fingerprint plus every option that can change the resulting
+// ROM. Parallel and Progress are deliberately excluded — they change
+// wall-clock and observability, never the artifact. Float options are
+// keyed by their exact bit patterns.
+func (c *config) cacheKey(sys *System, method string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fp=%016x|m=%s|k=%d,%d,%d|auto=%016x|s0=%016x|drop=%016x|dec=%v|solver=%s|xp=",
+		sys.Fingerprint(), method, c.opt.K1, c.opt.K2, c.opt.K3,
+		math.Float64bits(c.autoTol), math.Float64bits(c.opt.S0),
+		math.Float64bits(c.opt.DropTol), c.opt.DecoupledH2, c.opt.Solver)
+	for _, p := range c.opt.ExtraPoints {
+		fmt.Fprintf(&b, "%016x,", math.Float64bits(p))
+	}
+	return b.String()
+}

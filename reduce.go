@@ -1,0 +1,77 @@
+package avtmor
+
+import (
+	"context"
+	"errors"
+
+	"avtmor/internal/core"
+)
+
+// errNilSystem is returned by every reduction entry point handed a nil
+// or zero-value System.
+var errNilSystem = errors.New("avtmor: nil system")
+
+// Reduce runs the paper's associated-transform nonlinear model order
+// reduction on sys: one single-s Krylov subspace per Volterra order
+// (H1, A2(H2), A3(H3)), projection size O(k1+k2+k3). The context
+// cancels the reduction cooperatively — moment chains, Arnoldi steps,
+// and the sparse-LU column loop all poll it — so a caller that gives
+// up gets its goroutine back within one Krylov step's worth of work.
+func Reduce(ctx context.Context, sys *System, opts ...Option) (*ROM, error) {
+	return reduceWith(ctx, sys, methodAssoc, buildConfig(opts))
+}
+
+// ReduceNORM runs the classical NORM baseline (Li & Pileggi), which
+// moment-matches the multivariate H2(s1,s2), H3(s1,s2,s3) directly and
+// grows as O(k1 + k2³ + k3⁴) — kept public for head-to-head
+// comparisons against Reduce.
+func ReduceNORM(ctx context.Context, sys *System, opts ...Option) (*ROM, error) {
+	return reduceWith(ctx, sys, methodNORM, buildConfig(opts))
+}
+
+const (
+	methodAssoc = "assoc"
+	methodNORM  = "norm"
+)
+
+// reduceWith is the engine call shared by Reduce, ReduceNORM, and the
+// Reducer service.
+func reduceWith(ctx context.Context, sys *System, method string, cfg *config) (*ROM, error) {
+	if sys == nil || sys.sys == nil {
+		return nil, errNilSystem
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt := cfg.opt
+	if cfg.autoTol > 0 {
+		// The Hankel order selection is an O(n³) block with no internal
+		// ctx polls, so bracket it: never start it canceled, and never
+		// proceed into the reduction after a cancel that landed inside.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		auto, err := core.SuggestOrders(sys.sys, cfg.autoTol)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		opt.K1, opt.K2, opt.K3 = auto.K1, auto.K2, auto.K3
+	}
+	var (
+		rom *core.ROM
+		err error
+	)
+	switch method {
+	case methodNORM:
+		rom, err = core.ReduceNORMContext(ctx, sys.sys, opt)
+	default:
+		rom, err = core.ReduceContext(ctx, sys.sys, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ROM{rom: rom}, nil
+}

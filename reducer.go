@@ -1,0 +1,159 @@
+package avtmor
+
+import (
+	"context"
+	"sync"
+)
+
+// Reducer is a concurrency-safe reduction service: a ROM cache keyed
+// by (system fingerprint, canonicalized options) with singleflight
+// semantics. N concurrent identical requests trigger exactly one
+// underlying reduction — the others coalesce onto it and share the
+// result — which lifts the paper's "LU of G1 for once" amortization
+// one level higher, across requests. Completed ROMs stay cached until
+// Purge.
+//
+// Cancellation is per caller: a waiter whose context expires returns
+// immediately, and the in-flight reduction itself is canceled only
+// when every waiter has given up (so one impatient client cannot kill
+// work others still want). Abandoned reductions are not cached; the
+// next request recomputes.
+type Reducer struct {
+	mu       sync.Mutex
+	cache    map[string]*ROM
+	inflight map[string]*flight
+
+	stats ReducerStats
+}
+
+type flight struct {
+	refs   int // waiters still interested
+	cancel context.CancelFunc
+	done   chan struct{}
+	rom    *ROM
+	err    error
+}
+
+// ReducerStats counts the service's lifetime outcomes.
+type ReducerStats struct {
+	// Reductions is the number of underlying reductions launched;
+	// CacheHits the requests served from the completed-ROM cache;
+	// Coalesced the requests that joined an in-flight reduction.
+	Reductions, CacheHits, Coalesced int64
+	// CachedROMs is the current cache population; InFlight the
+	// reductions currently executing.
+	CachedROMs, InFlight int
+}
+
+// NewReducer returns an empty reduction service.
+func NewReducer() *Reducer {
+	return &Reducer{
+		cache:    map[string]*ROM{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// Stats returns a snapshot of the service counters.
+func (rd *Reducer) Stats() ReducerStats {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	s := rd.stats
+	s.CachedROMs = len(rd.cache)
+	s.InFlight = len(rd.inflight)
+	return s
+}
+
+// Purge drops every cached ROM (in-flight reductions are unaffected).
+func (rd *Reducer) Purge() {
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	rd.cache = map[string]*ROM{}
+}
+
+// Reduce returns the cached ROM for (sys, opts), joining an in-flight
+// identical reduction or launching a new one. The options are
+// canonicalized for the cache key: everything that changes the ROM
+// participates; WithParallel and WithProgress do not (a coalesced
+// caller's progress callback is not invoked — only the launching
+// request's is). See Reduce for the reduction semantics.
+func (rd *Reducer) Reduce(ctx context.Context, sys *System, opts ...Option) (*ROM, error) {
+	return rd.reduce(ctx, sys, methodAssoc, opts)
+}
+
+// ReduceNORM is Reduce with the NORM baseline engine (cached under a
+// distinct key space).
+func (rd *Reducer) ReduceNORM(ctx context.Context, sys *System, opts ...Option) (*ROM, error) {
+	return rd.reduce(ctx, sys, methodNORM, opts)
+}
+
+func (rd *Reducer) reduce(ctx context.Context, sys *System, method string, opts []Option) (*ROM, error) {
+	if sys == nil || sys.sys == nil {
+		return nil, errNilSystem
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := buildConfig(opts)
+	key := cfg.cacheKey(sys, method)
+
+	rd.mu.Lock()
+	if rom, ok := rd.cache[key]; ok {
+		rd.stats.CacheHits++
+		rd.mu.Unlock()
+		return rom, nil
+	}
+	fl, ok := rd.inflight[key]
+	if ok && fl.refs > 0 {
+		fl.refs++
+		rd.stats.Coalesced++
+	} else {
+		// Launch a fresh flight. refs == 0 means the listed flight was
+		// abandoned (every waiter canceled, fl.cancel fired) and is
+		// merely unwinding — joining it would hand this live caller a
+		// context.Canceled it did not cause, so replace the entry; the
+		// old goroutine's cleanup only deletes its own entry.
+		//
+		// The reduction runs under its own cancelable context detached
+		// from any single caller's: it must survive one waiter's
+		// cancellation as long as another still wants the result.
+		ictx, cancel := context.WithCancel(context.Background())
+		fl = &flight{refs: 1, cancel: cancel, done: make(chan struct{})}
+		rd.inflight[key] = fl
+		rd.stats.Reductions++
+		go func(fl *flight) {
+			rom, err := reduceWith(ictx, sys, method, cfg)
+			if err == nil {
+				// Mark before publication (the close below is the
+				// happens-before edge): this instance is now a shared
+				// cache entry and ReadFrom must refuse to mutate it.
+				rom.shared = true
+			}
+			fl.rom, fl.err = rom, err
+			rd.mu.Lock()
+			if rd.inflight[key] == fl {
+				delete(rd.inflight, key)
+			}
+			if err == nil {
+				rd.cache[key] = rom
+			}
+			rd.mu.Unlock()
+			close(fl.done)
+			cancel()
+		}(fl)
+	}
+	rd.mu.Unlock()
+
+	select {
+	case <-fl.done:
+		return fl.rom, fl.err
+	case <-ctx.Done():
+		rd.mu.Lock()
+		fl.refs--
+		abandoned := fl.refs == 0
+		rd.mu.Unlock()
+		if abandoned {
+			fl.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,405 @@
+package avtmor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"avtmor/internal/core"
+	"avtmor/internal/mat"
+	"avtmor/internal/qldae"
+	"avtmor/internal/sparse"
+)
+
+// ROM wire format (versioned, little-endian; documented in DESIGN.md):
+//
+//	magic   [8]byte  "AVTMROM\x00"
+//	version uint32   currently 1
+//	method  string   (uint32 length + bytes)
+//	stats   candidates, order int64; build ns int64;
+//	        backend string; factorizations, cacheHits int64
+//	flags   uint64   bit 0: projection basis V present
+//	system  reduced QLDAE: n uint64, presence byte per matrix
+//	        (G1, G1S, G2, G3, D1, then B and L unconditionally)
+//	[V]     dense matrix
+//
+// Dense matrices serialize as rows, cols uint64 + row-major float64
+// bit patterns; CSR as rows, cols, nnz uint64 + rowPtr + colIdx +
+// value bits. Every float64 travels as its exact IEEE-754 bits, so a
+// WriteTo → ReadFrom round trip is bit-exact and a reloaded ROM
+// simulates identically.
+
+var romMagic = [8]byte{'A', 'V', 'T', 'M', 'R', 'O', 'M', 0}
+
+// romFormatVersion is bumped on any wire-format change; readers reject
+// versions they do not understand.
+const romFormatVersion = 1
+
+// ErrBadMagic is returned by ReadFrom when the stream does not start
+// with the ROM magic header (corrupted or foreign data).
+var ErrBadMagic = errors.New("avtmor: not a serialized ROM (bad magic header)")
+
+// ErrVersion is returned by ReadFrom for a well-formed header whose
+// format version this build does not support.
+var ErrVersion = errors.New("avtmor: unsupported ROM format version")
+
+// maxROMDim bounds each deserialized dimension and maxROMElems the
+// element count of any single matrix (≈2 GiB of float64s) as sanity
+// checks: a corrupted stream must fail with an error from ReadFrom,
+// never a makeslice panic or an absurd allocation.
+const (
+	maxROMDim   = 1 << 28
+	maxROMElems = 1 << 28
+)
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) write(p []byte) {
+	if cw.err != nil {
+		return
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (cw *countingWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	cw.write(b[:])
+}
+
+func (cw *countingWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	cw.write(b[:])
+}
+
+func (cw *countingWriter) f64s(vs []float64) {
+	// Chunked conversion keeps the fast path allocation-bounded.
+	var buf [512 * 8]byte
+	for len(vs) > 0 {
+		n := len(vs)
+		if n > 512 {
+			n = 512
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(vs[i]))
+		}
+		cw.write(buf[:n*8])
+		vs = vs[n:]
+	}
+}
+
+func (cw *countingWriter) ints(vs []int) {
+	for _, v := range vs {
+		cw.u64(uint64(v))
+	}
+}
+
+func (cw *countingWriter) str(s string) {
+	cw.u32(uint32(len(s)))
+	cw.write([]byte(s))
+}
+
+func (cw *countingWriter) dense(d *mat.Dense) {
+	cw.u64(uint64(d.R))
+	cw.u64(uint64(d.C))
+	cw.f64s(d.A)
+}
+
+func (cw *countingWriter) csr(c *sparse.CSR) {
+	cw.u64(uint64(c.Rows))
+	cw.u64(uint64(c.Cols))
+	cw.u64(uint64(c.NNZ()))
+	cw.ints(c.RowPtr)
+	cw.ints(c.ColIdx)
+	cw.f64s(c.Val)
+}
+
+// WriteTo serializes the ROM (reduced system, projection basis when
+// present, method, stats) in the versioned binary format. It
+// implements io.WriterTo.
+func (r *ROM) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	cw.write(romMagic[:])
+	cw.u32(romFormatVersion)
+	cw.str(r.rom.Method)
+	s := r.rom.Stats
+	cw.u64(uint64(s.Candidates))
+	cw.u64(uint64(s.Order))
+	cw.u64(uint64(s.Build.Nanoseconds()))
+	cw.str(s.Backend)
+	cw.u64(uint64(s.Factorizations))
+	cw.u64(uint64(s.SolveCacheHits))
+	var flags uint64
+	if r.rom.V != nil {
+		flags |= 1
+	}
+	cw.u64(flags)
+	sys := r.rom.Sys
+	cw.u64(uint64(sys.N))
+	writePresent := func(present bool, emit func()) {
+		if present {
+			cw.write([]byte{1})
+			emit()
+		} else {
+			cw.write([]byte{0})
+		}
+	}
+	writePresent(sys.G1 != nil, func() { cw.dense(sys.G1) })
+	writePresent(sys.G1S != nil, func() { cw.csr(sys.G1S) })
+	writePresent(sys.G2 != nil, func() { cw.csr(sys.G2) })
+	writePresent(sys.G3 != nil, func() { cw.csr(sys.G3) })
+	writePresent(sys.D1 != nil, func() {
+		cw.u64(uint64(len(sys.D1)))
+		for _, d := range sys.D1 {
+			writePresent(d != nil, func() { cw.dense(d) })
+		}
+	})
+	cw.dense(sys.B)
+	cw.dense(sys.L)
+	if r.rom.V != nil {
+		cw.dense(r.rom.V)
+	}
+	return cw.n, cw.err
+}
+
+type countingReader struct {
+	r   io.Reader
+	n   int64
+	err error
+}
+
+func (cr *countingReader) read(p []byte) {
+	if cr.err != nil {
+		return
+	}
+	n, err := io.ReadFull(cr.r, p)
+	cr.n += int64(n)
+	cr.err = err
+}
+
+func (cr *countingReader) u64() uint64 {
+	var b [8]byte
+	cr.read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (cr *countingReader) u32() uint32 {
+	var b [4]byte
+	cr.read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (cr *countingReader) dim() int {
+	v := cr.u64()
+	if cr.err == nil && v > maxROMDim {
+		cr.err = fmt.Errorf("avtmor: implausible dimension %d in ROM stream (corrupted?)", v)
+	}
+	return int(v)
+}
+
+func (cr *countingReader) f64s(dst []float64) {
+	var buf [512 * 8]byte
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > 512 {
+			n = 512
+		}
+		cr.read(buf[:n*8])
+		if cr.err != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		dst = dst[n:]
+	}
+}
+
+func (cr *countingReader) ints(dst []int) {
+	var buf [512 * 8]byte
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > 512 {
+			n = 512
+		}
+		cr.read(buf[:n*8])
+		if cr.err != nil {
+			return
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = int(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		dst = dst[n:]
+	}
+}
+
+func (cr *countingReader) str() string {
+	n := cr.u32()
+	if cr.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		cr.err = fmt.Errorf("avtmor: implausible string length %d in ROM stream", n)
+		return ""
+	}
+	b := make([]byte, n)
+	cr.read(b)
+	return string(b)
+}
+
+func (cr *countingReader) byte() byte {
+	var b [1]byte
+	cr.read(b[:])
+	return b[0]
+}
+
+func (cr *countingReader) dense() *mat.Dense {
+	rows, cols := cr.dim(), cr.dim()
+	if cr.err == nil && rows*cols > maxROMElems {
+		cr.err = fmt.Errorf("avtmor: implausible dense matrix %d×%d in ROM stream (corrupted?)", rows, cols)
+	}
+	if cr.err != nil {
+		return nil
+	}
+	d := mat.NewDense(rows, cols)
+	cr.f64s(d.A)
+	return d
+}
+
+func (cr *countingReader) csr() *sparse.CSR {
+	rows, cols, nnz := cr.dim(), cr.dim(), cr.dim()
+	if cr.err == nil && nnz > maxROMElems {
+		cr.err = fmt.Errorf("avtmor: implausible CSR nonzero count %d in ROM stream (corrupted?)", nnz)
+	}
+	if cr.err != nil {
+		return nil
+	}
+	c := &sparse.CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int, rows+1),
+		ColIdx: make([]int, nnz),
+		Val:    make([]float64, nnz),
+	}
+	cr.ints(c.RowPtr)
+	cr.ints(c.ColIdx)
+	cr.f64s(c.Val)
+	if cr.err != nil {
+		return nil
+	}
+	// Structural consistency: a stream that passes here must be safe
+	// for the index arithmetic of every sparse kernel downstream.
+	if c.RowPtr[0] != 0 || c.RowPtr[rows] != nnz {
+		cr.err = fmt.Errorf("avtmor: corrupted CSR row pointers in ROM stream")
+		return nil
+	}
+	for r := 0; r < rows; r++ {
+		if c.RowPtr[r] > c.RowPtr[r+1] {
+			cr.err = fmt.Errorf("avtmor: corrupted CSR row pointers in ROM stream")
+			return nil
+		}
+	}
+	for _, j := range c.ColIdx {
+		if j < 0 || j >= cols {
+			cr.err = fmt.Errorf("avtmor: CSR column index %d out of %d in ROM stream", j, cols)
+			return nil
+		}
+	}
+	return c
+}
+
+// ReadROM deserializes a ROM previously written by WriteTo.
+func ReadROM(r io.Reader) (*ROM, error) {
+	rom := &ROM{}
+	if _, err := rom.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return rom, nil
+}
+
+// ReadFrom deserializes into r, replacing its contents. It implements
+// io.ReaderFrom: exactly the ROM's bytes are consumed (no read-ahead),
+// so ROMs can be concatenated in one stream and the returned count
+// seeks past the one just read. The loaded ROM simulates and evaluates
+// TransferH1 identically to the one written; the full-model error
+// probes (H1Error, …) report an error since the artifact does not
+// embed the full system. ROMs handed out by a Reducer are refused —
+// they are shared cache entries; deserialize into a fresh ROM with
+// ReadROM instead.
+func (r *ROM) ReadFrom(src io.Reader) (int64, error) {
+	if r.shared {
+		return 0, errors.New("avtmor: refusing to overwrite a Reducer-cached ROM (shared instance); use ReadROM for a fresh one")
+	}
+	cr := &countingReader{r: src}
+	var magic [8]byte
+	cr.read(magic[:])
+	if cr.err != nil {
+		return cr.n, fmt.Errorf("%w: %v", ErrBadMagic, cr.err)
+	}
+	if magic != romMagic {
+		return cr.n, ErrBadMagic
+	}
+	if v := cr.u32(); cr.err == nil && v != romFormatVersion {
+		return cr.n, fmt.Errorf("%w: stream has v%d, this build reads v%d", ErrVersion, v, romFormatVersion)
+	}
+	out := &core.ROM{}
+	out.Method = cr.str()
+	out.Stats.Candidates = int(cr.u64())
+	out.Stats.Order = int(cr.u64())
+	out.Stats.Build = time.Duration(cr.u64())
+	out.Stats.Backend = cr.str()
+	out.Stats.Factorizations = int64(cr.u64())
+	out.Stats.SolveCacheHits = int64(cr.u64())
+	flags := cr.u64()
+	sys := &qldae.System{N: cr.dim()}
+	if cr.byte() != 0 {
+		sys.G1 = cr.dense()
+	}
+	if cr.byte() != 0 {
+		sys.G1S = cr.csr()
+	}
+	if cr.byte() != 0 {
+		sys.G2 = cr.csr()
+	}
+	if cr.byte() != 0 {
+		sys.G3 = cr.csr()
+	}
+	if cr.byte() != 0 {
+		blocks := cr.dim()
+		if cr.err == nil {
+			sys.D1 = make([]*mat.Dense, blocks)
+			for i := range sys.D1 {
+				if cr.byte() != 0 {
+					sys.D1[i] = cr.dense()
+				}
+			}
+		}
+	}
+	sys.B = cr.dense()
+	sys.L = cr.dense()
+	if flags&1 != 0 {
+		out.V = cr.dense()
+	}
+	if cr.err != nil {
+		return cr.n, fmt.Errorf("avtmor: truncated or corrupted ROM stream: %w", cr.err)
+	}
+	if err := sys.Validate(); err != nil {
+		return cr.n, fmt.Errorf("avtmor: deserialized ROM is inconsistent: %w", err)
+	}
+	out.Sys = sys
+	r.mu.Lock()
+	r.rom = out
+	r.red = nil
+	r.mu.Unlock()
+	return cr.n, nil
+}

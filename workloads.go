@@ -1,0 +1,82 @@
+package avtmor
+
+import (
+	"context"
+
+	"avtmor/internal/circuits"
+)
+
+// Workload bundles a benchmark System with its experiment stimulus —
+// the paper's §3 testbenches plus the large-circuit RLC line. The
+// fields mirror the evaluation setup: U over [0, TEnd] sampled with
+// Steps reference steps, Stiff selecting the implicit integrator, and
+// S0 the recommended moment-expansion point.
+type Workload struct {
+	System *System
+	Name   string
+	U      Input
+	TEnd   float64
+	Steps  int
+	Stiff  bool
+	S0     float64
+	// OutputName labels the observed quantity (output channel 0).
+	OutputName string
+}
+
+func wrapWorkload(w *circuits.Workload) *Workload {
+	return &Workload{
+		System:     wrapSystem(w.Sys, ""),
+		Name:       w.Name,
+		U:          Input(w.U),
+		TEnd:       w.TEnd,
+		Steps:      w.Steps,
+		Stiff:      w.Stiff,
+		S0:         w.S0,
+		OutputName: w.OutputName,
+	}
+}
+
+// SimOptions returns the workload-appropriate integrator selection:
+// trapezoidal for the stiff testbenches, RK4 otherwise, both with the
+// reference step count.
+func (w *Workload) SimOptions() []SimOption {
+	if w.Stiff {
+		return []SimOption{WithTrapezoidal(w.Steps)}
+	}
+	return []SimOption{WithRK4(w.Steps)}
+}
+
+// Model is anything that can be driven over a time window — a full
+// System or a ROM.
+type Model interface {
+	Simulate(ctx context.Context, u Input, tEnd float64, opts ...SimOption) (*Result, error)
+}
+
+// Simulate drives m with the workload's stimulus, window, and
+// integrator choice.
+func (w *Workload) Simulate(ctx context.Context, m Model) (*Result, error) {
+	return m.Simulate(ctx, w.U, w.TEnd, w.SimOptions()...)
+}
+
+// NTLVoltage builds the §3.1/Fig. 2 workload: a voltage-driven
+// nonlinear RC-diode transmission line with the given number of stages
+// (2·stages states), quadratic-linearized exactly (nonzero D1).
+func NTLVoltage(stages int) *Workload { return wrapWorkload(circuits.NTLVoltage(stages)) }
+
+// NTLCurrent builds the §3.2/Fig. 3 workload: a current-driven line
+// with n nodes and polynomial (quadratic) shunt conductances, D1 = 0.
+func NTLCurrent(nodes int) *Workload { return wrapWorkload(circuits.NTLCurrent(nodes)) }
+
+// RFReceiver builds the §3.3/Fig. 4 workload: the two-input receiver
+// chain with 173 MNA unknowns (signal + coupled interference).
+func RFReceiver() *Workload { return wrapWorkload(circuits.RFReceiver()) }
+
+// Varistor builds the §3.4/Fig. 5 workload: the cubic ZnO varistor
+// surge protector (102 states, 9.8 kV double-exponential surge).
+func Varistor() *Workload { return wrapWorkload(circuits.Varistor()) }
+
+// RLCLine builds a linear RLC transmission line with the given number
+// of sections (2·sections − 1 states, ≈2.5 nonzeros per row) — the
+// interconnect workload of the sparse-direct solver spine. Beyond
+// ~2500 states it is CSR-only: no dense G1 is ever materialized.
+func RLCLine(sections int) *Workload { return wrapWorkload(circuits.RLCLine(sections)) }
