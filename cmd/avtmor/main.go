@@ -19,6 +19,11 @@
 //
 // Each experiment prints a summary to stdout; figure experiments also
 // write their series as CSV files under -out (default "results").
+//
+// avtmor runs the evaluation offline, in-process. To serve reductions
+// over HTTP — POST netlists, get durable ROM artifacts from a
+// content-addressed on-disk store, simulate them remotely — run the
+// sibling daemon, cmd/avtmord.
 package main
 
 import (
@@ -36,6 +41,7 @@ var targetOrder = []string{"fig2", "fig3", "fig4", "fig5", "table1", "ablation",
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: avtmor [-out DIR] [target ...]\n")
 	fmt.Fprintf(os.Stderr, "targets: %v, or \"all\" (= every target except scale); default all\n", targetOrder)
+	fmt.Fprintf(os.Stderr, "(avtmor replays the paper's evaluation offline; to reduce and simulate\nover HTTP with a persistent ROM store, run the daemon: avtmord)\n")
 	flag.PrintDefaults()
 }
 

@@ -1,0 +1,104 @@
+// Command avtmord is the avtmor reduction daemon: an HTTP service that
+// accepts netlists (or serialized Systems), reduces them with the
+// associated-transform engine, persists the resulting ROM artifacts in
+// a content-addressed on-disk store, and simulates stored ROMs on
+// demand. Identical concurrent requests coalesce onto one reduction;
+// artifacts survive restarts; overload sheds with 429 at a bounded
+// worker pool instead of piling up goroutines.
+//
+// Usage:
+//
+//	avtmord [-addr HOST:PORT] [-store DIR] [-workers N] [-queue N]
+//	        [-cache-limit N] [-grace D]
+//
+// Quickstart against a local daemon:
+//
+//	avtmord -addr 127.0.0.1:8472 -store ./roms &
+//	curl -s --data-binary @circuit.sp 'http://127.0.0.1:8472/v1/reduce?k1=4&k2=2' -o rom.bin
+//	key=$(curl -si --data-binary @circuit.sp 'http://127.0.0.1:8472/v1/reduce?k1=4&k2=2' \
+//	      -o /dev/null -w '%header{X-Avtmor-Rom-Key}')
+//	curl -s -d '{"tEnd":1e-9,"steps":2000,"input":{"kind":"const","values":[1]}}' \
+//	      "http://127.0.0.1:8472/v1/roms/$key/simulate"
+//	curl -s http://127.0.0.1:8472/metrics
+//
+// See the serve package and DESIGN.md §5 for the endpoint and
+// backpressure contracts. SIGINT/SIGTERM drain gracefully within the
+// -grace window.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"avtmor/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8472", "listen address (port 0 picks an ephemeral port)")
+	dir := flag.String("store", "avtmord-store", "ROM store directory; \"\" keeps artifacts in memory only")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "reduction/simulation worker pool size")
+	queue := flag.Int("queue", 64, "pending-request queue depth; 0 = no queue, a request runs immediately or is answered 429")
+	cacheLimit := flag.Int("cache-limit", 256, "max ROMs held in memory, LRU-evicted to the store (0 = unbounded)")
+	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown drain window")
+	flag.Parse()
+	log.SetPrefix("avtmord: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "avtmord: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	qd := *queue
+	if qd == 0 {
+		qd = -1 // the flag's 0 means "no queue"; Config's 0 means "default"
+	}
+	s, err := serve.New(serve.Config{
+		StoreDir:   *dir,
+		Workers:    *workers,
+		QueueDepth: qd,
+		CacheLimit: *cacheLimit,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (store %q, workers %d, queue %d, cache limit %d)",
+		ln.Addr(), *dir, *workers, *queue, *cacheLimit)
+
+	srv := &http.Server{Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down (drain window %s)", *grace)
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		// Stragglers past the window: closing their connections cancels
+		// their request contexts, which unwinds in-flight reductions.
+		log.Printf("drain window expired (%v), closing connections", err)
+		srv.Close()
+	}
+	s.Close()
+	log.Printf("store flushed, goodbye")
+}

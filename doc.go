@@ -18,11 +18,16 @@
 // Reductions honor context cancellation down to the Krylov-step and
 // sparse-LU-column granularity. A ROM is a durable artifact: it
 // serializes to a versioned binary format (WriteTo/ReadFrom,
-// bit-exact round trip) and reloaded ROMs simulate identically. The
-// Reducer type adds a concurrency-safe ROM cache with singleflight
-// semantics — N concurrent identical requests trigger one reduction —
-// for serving ROMs under load.
+// bit-exact round trip) and reloaded ROMs simulate identically;
+// Systems serialize too (System.WriteTo/ReadSystem) for shipping to a
+// remote reducer. The Reducer type adds a concurrency-safe ROM cache
+// with singleflight semantics — N concurrent identical requests
+// trigger one reduction — optionally LRU-bounded (WithCacheLimit) and
+// backed by a write-through second-tier ROMStore for serving ROMs
+// under load.
 //
 // cmd/avtmor regenerates every table and figure of the paper's
 // evaluation; bench_test.go wraps the same experiments as benchmarks.
+// The serve subpackage and cmd/avtmord expose the whole engine as an
+// HTTP service with a content-addressed on-disk artifact store.
 package avtmor

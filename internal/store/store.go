@@ -1,0 +1,261 @@
+// Package store persists ROM artifacts on disk, content-addressed by
+// the Reducer cache key (system fingerprint + canonical reduction
+// options): each ROM lives in one file named by the SHA-256 digest of
+// its key, in the bit-exact wire format of avtmor.ROM.WriteTo. The
+// store is the durable second tier behind the in-memory Reducer cache —
+// reduce once, serve the artifact across restarts and processes.
+//
+// Invariants:
+//
+//   - Writes are atomic: a ROM is serialized to a hidden temp file in
+//     the store directory, fsynced, and renamed into place. Readers
+//     (including concurrent processes sharing the directory) only ever
+//     see complete files.
+//   - Corruption is quarantined, never served: a file that fails
+//     ReadFrom validation — at open-time scan or on a later load — is
+//     moved into the quarantine/ subdirectory for post-mortem and
+//     dropped from the index, so the daemon self-heals by re-reducing.
+//   - The in-memory index is rebuilt by scanning the directory on
+//     Open; no sidecar manifest exists that could go stale. The scan
+//     deserializes every artifact, so Open costs O(total store bytes)
+//     — the price of guaranteeing that everything indexed is servable
+//     before the daemon starts accepting traffic.
+package store
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"avtmor"
+)
+
+const (
+	romExt        = ".rom"
+	tmpPrefix     = ".tmp-"
+	quarantineDir = "quarantine"
+)
+
+// Store is a content-addressed on-disk ROM store. It implements
+// avtmor.ROMStore and is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu          sync.Mutex
+	index       map[string]bool // digest → present
+	quarantined int64
+	loads, hits int64
+}
+
+// Stats is a snapshot of the store's population and lifetime counters.
+type Stats struct {
+	// ROMs is the current indexed artifact count.
+	ROMs int
+	// Quarantined counts files moved aside as corrupt (scan + load).
+	Quarantined int64
+	// Loads counts Load/Get calls; Hits the ones that returned a ROM.
+	Loads, Hits int64
+}
+
+// Digest returns the content address of a cache key: the hex SHA-256
+// of the canonical key string. It is the artifact's file stem on disk
+// and the ROM id in the serve package's URLs.
+func Digest(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+func validDigest(d string) bool {
+	if len(d) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Open creates dir if needed and rebuilds the index by scanning it:
+// leftover temp files from a crashed writer are removed, files that
+// are not well-formed ROMs (bad name, bad magic, truncation, failed
+// validation) are quarantined, everything else is indexed and
+// servable.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, index: map[string]bool{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, romExt) {
+			continue
+		}
+		digest := strings.TrimSuffix(name, romExt)
+		if !validDigest(digest) || s.validate(filepath.Join(dir, name)) != nil {
+			s.quarantine(name)
+			continue
+		}
+		s.index[digest] = true
+	}
+	return s, nil
+}
+
+// validate reads the file as a ROM, returning any deserialization
+// error.
+func (s *Store) validate(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = avtmor.ReadROM(bufio.NewReader(f))
+	return err
+}
+
+// quarantine moves a store file aside so it is never served again. A
+// failed move (or a name collision in quarantine/) falls back to
+// leaving the file unindexed — the effect on serving is the same.
+func (s *Store) quarantine(name string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		os.Rename(filepath.Join(s.dir, name), filepath.Join(qdir, name))
+	}
+	s.mu.Lock()
+	s.quarantined++
+	s.mu.Unlock()
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the indexed artifact count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Keys returns the sorted digests of every indexed artifact.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.index))
+	for d := range s.index {
+		out = append(out, d)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{ROMs: len(s.index), Quarantined: s.quarantined, Loads: s.loads, Hits: s.hits}
+}
+
+// Load returns the ROM stored under the cache key, or (nil, nil) on a
+// miss. It implements avtmor.ROMStore.
+func (s *Store) Load(key string) (*avtmor.ROM, error) {
+	return s.Get(Digest(key))
+}
+
+// Get returns the ROM with the given content address, or (nil, nil)
+// when absent. A file that exists but fails deserialization is
+// quarantined and reported as a miss. Addresses not in the index are
+// still tried against the filesystem, so artifacts dropped in by a
+// sibling process after Open are picked up.
+func (s *Store) Get(digest string) (*avtmor.ROM, error) {
+	s.mu.Lock()
+	s.loads++
+	s.mu.Unlock()
+	if !validDigest(digest) {
+		return nil, nil
+	}
+	name := digest + romExt
+	f, err := os.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.drop(digest)
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	rom, err := avtmor.ReadROM(bufio.NewReader(f))
+	if err != nil {
+		s.drop(digest)
+		s.quarantine(name)
+		return nil, nil
+	}
+	s.mu.Lock()
+	s.index[digest] = true
+	s.hits++
+	s.mu.Unlock()
+	return rom, nil
+}
+
+func (s *Store) drop(digest string) {
+	s.mu.Lock()
+	delete(s.index, digest)
+	s.mu.Unlock()
+}
+
+// Store persists rom under the cache key with an atomic tmp+rename
+// write; an artifact already present under the same address is left
+// untouched (same key, same bytes). It implements avtmor.ROMStore.
+func (s *Store) Store(key string, rom *avtmor.ROM) error {
+	digest := Digest(key)
+	s.mu.Lock()
+	present := s.index[digest]
+	s.mu.Unlock()
+	if present {
+		return nil
+	}
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	bw := bufio.NewWriter(f)
+	_, err = rom.WriteTo(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(s.dir, digest+romExt))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	s.mu.Lock()
+	s.index[digest] = true
+	s.mu.Unlock()
+	return nil
+}

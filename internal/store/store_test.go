@@ -1,0 +1,193 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"avtmor"
+	"avtmor/internal/store"
+)
+
+func testROM(t testing.TB) (*avtmor.ROM, string) {
+	t.Helper()
+	w := avtmor.NTLCurrent(20)
+	opts := []avtmor.Option{avtmor.WithOrders(3, 1, 0), avtmor.WithExpansion(w.S0)}
+	rom, err := avtmor.Reduce(context.Background(), w.System, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rom, avtmor.RequestKey(w.System, opts...)
+}
+
+func romBytes(t testing.TB, rom *avtmor.ROM) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if _, err := rom.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestStoreRoundTrip: Store then Load returns a bit-identical artifact,
+// addressed both by key and by digest.
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom, key := testROM(t)
+	if got, err := s.Load(key); err != nil || got != nil {
+		t.Fatalf("empty store Load = %v, %v; want miss", got, err)
+	}
+	if err := s.Store(key, rom); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got, err := s.Load(key)
+	if err != nil || got == nil {
+		t.Fatalf("Load after Store = %v, %v", got, err)
+	}
+	if !bytes.Equal(romBytes(t, got), romBytes(t, rom)) {
+		t.Fatal("store round trip is not bit-exact")
+	}
+	byAddr, err := s.Get(store.Digest(key))
+	if err != nil || byAddr == nil {
+		t.Fatalf("Get by digest = %v, %v", byAddr, err)
+	}
+	// Re-storing the same key is a no-op, not an error.
+	if err := s.Store(key, rom); err != nil || s.Len() != 1 {
+		t.Fatalf("idempotent Store: %v, len %d", err, s.Len())
+	}
+	st := s.Stats()
+	if st.ROMs != 1 || st.Loads != 3 || st.Hits != 2 || st.Quarantined != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestStoreReopenScan: a fresh Open on the same directory rebuilds the
+// index from the files alone, and leftover temp files are swept.
+func TestStoreReopenScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom, key := testROM(t)
+	if err := s.Store(key, rom); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, ".tmp-crashed")
+	if err := os.WriteFile(tmp, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store indexed %d ROMs, want 1", s2.Len())
+	}
+	got, err := s2.Load(key)
+	if err != nil || got == nil {
+		t.Fatalf("Load after reopen = %v, %v", got, err)
+	}
+	if !bytes.Equal(romBytes(t, got), romBytes(t, rom)) {
+		t.Fatal("reopened artifact differs")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("crashed temp file survived the scan")
+	}
+}
+
+// TestStoreQuarantine: corrupt files — wrong name, garbage content,
+// truncation — are moved aside at scan time and on load, and are never
+// served.
+func TestStoreQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	rom, key := testROM(t)
+	valid := romBytes(t, rom)
+	digest := store.Digest(key)
+
+	garbage := store.Digest("garbage")
+	if err := os.WriteFile(filepath.Join(dir, garbage+".rom"), []byte("not a rom at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truncated := store.Digest("truncated")
+	if err := os.WriteFile(filepath.Join(dir, truncated+".rom"), valid[:len(valid)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "not-a-digest.rom"), valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, digest+".rom"), valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("indexed %d ROMs, want only the valid one", s.Len())
+	}
+	if got := s.Keys(); len(got) != 1 || got[0] != digest {
+		t.Fatalf("keys %v", got)
+	}
+	if st := s.Stats(); st.Quarantined != 3 {
+		t.Fatalf("quarantined %d files, want 3", st.Quarantined)
+	}
+	for _, d := range []string{garbage, truncated} {
+		if got, err := s.Get(d); err != nil || got != nil {
+			t.Fatalf("quarantined artifact %s was served: %v, %v", d, got, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "quarantine", d+".rom")); err != nil {
+			t.Fatalf("quarantine file for %s: %v", d, err)
+		}
+	}
+
+	// Corruption that lands after Open (e.g. disk fault) is caught at
+	// load time: quarantined, reported as a miss, index self-heals.
+	if err := os.WriteFile(filepath.Join(dir, digest+".rom"), valid[:16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Load(key); err != nil || got != nil {
+		t.Fatalf("post-Open corruption served: %v, %v", got, err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("corrupt entry still indexed (len %d)", s.Len())
+	}
+	if st := s.Stats(); st.Quarantined != 4 {
+		t.Fatalf("quarantined %d, want 4", st.Quarantined)
+	}
+}
+
+// TestStoreSidecarPickup: an artifact written into the directory by a
+// sibling process after Open is found on Get despite not being in the
+// scan-time index.
+func TestStoreSidecarPickup(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom, key := testROM(t)
+	sibling, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sibling.Store(key, rom); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(key)
+	if err != nil || got == nil {
+		t.Fatalf("sibling-written artifact not found: %v, %v", got, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d after pickup", s.Len())
+	}
+}

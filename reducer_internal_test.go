@@ -1,0 +1,51 @@
+package avtmor
+
+import "testing"
+
+// TestCacheAddDoubleCompletion pins the LRU invariant under the
+// abandoned-flight race: two flights completing on one key (the first
+// abandoned but finishing anyway — e.g. a ctx-blind store load — the
+// second its replacement) must leave exactly one list element per map
+// entry, or eviction under WithCacheLimit deletes live mappings while
+// orphans pin ROMs in the list forever.
+func TestCacheAddDoubleCompletion(t *testing.T) {
+	rd := NewReducer(WithCacheLimit(2))
+	romA, romB, romC := &ROM{}, &ROM{}, &ROM{}
+	rd.mu.Lock()
+	rd.cacheAdd("k", romA)
+	rd.cacheAdd("k", romB) // the racing second completion
+	rd.cacheAdd("other", romC)
+	rd.mu.Unlock()
+
+	rd.mu.Lock()
+	if len(rd.cache) != rd.lru.Len() || len(rd.cache) != 2 {
+		rd.mu.Unlock()
+		t.Fatalf("map has %d entries, list %d; want 2 and 2", len(rd.cache), rd.lru.Len())
+	}
+	got := rd.cache["k"].Value.(*cacheEntry).rom
+	rd.mu.Unlock()
+	if got != romB {
+		t.Fatal("second completion did not refresh the cached ROM")
+	}
+	if st := rd.Stats(); st.Evictions != 0 || st.CachedROMs != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Filling past the limit evicts exactly one cold entry ("k", LRU
+	// behind "other") and keeps map and list in lockstep.
+	rd.mu.Lock()
+	rd.cacheAdd("third", &ROM{})
+	if len(rd.cache) != rd.lru.Len() || len(rd.cache) != 2 {
+		rd.mu.Unlock()
+		t.Fatalf("after eviction: map %d, list %d", len(rd.cache), rd.lru.Len())
+	}
+	_, kLives := rd.cache["k"]
+	_, otherLives := rd.cache["other"]
+	rd.mu.Unlock()
+	if kLives || !otherLives {
+		t.Fatalf("eviction order wrong: k alive=%v, other alive=%v", kLives, otherLives)
+	}
+	if st := rd.Stats(); st.Evictions != 1 || st.CachedROMs != 2 {
+		t.Fatalf("stats after eviction %+v", st)
+	}
+}

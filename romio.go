@@ -10,7 +10,6 @@ import (
 
 	"avtmor/internal/core"
 	"avtmor/internal/mat"
-	"avtmor/internal/qldae"
 	"avtmor/internal/sparse"
 )
 
@@ -144,28 +143,7 @@ func (r *ROM) WriteTo(w io.Writer) (int64, error) {
 		flags |= 1
 	}
 	cw.u64(flags)
-	sys := r.rom.Sys
-	cw.u64(uint64(sys.N))
-	writePresent := func(present bool, emit func()) {
-		if present {
-			cw.write([]byte{1})
-			emit()
-		} else {
-			cw.write([]byte{0})
-		}
-	}
-	writePresent(sys.G1 != nil, func() { cw.dense(sys.G1) })
-	writePresent(sys.G1S != nil, func() { cw.csr(sys.G1S) })
-	writePresent(sys.G2 != nil, func() { cw.csr(sys.G2) })
-	writePresent(sys.G3 != nil, func() { cw.csr(sys.G3) })
-	writePresent(sys.D1 != nil, func() {
-		cw.u64(uint64(len(sys.D1)))
-		for _, d := range sys.D1 {
-			writePresent(d != nil, func() { cw.dense(d) })
-		}
-	})
-	cw.dense(sys.B)
-	cw.dense(sys.L)
+	cw.systemBody(r.rom.Sys)
 	if r.rom.V != nil {
 		cw.dense(r.rom.V)
 	}
@@ -207,40 +185,63 @@ func (cr *countingReader) dim() int {
 	return int(v)
 }
 
-func (cr *countingReader) f64s(dst []float64) {
-	var buf [512 * 8]byte
-	for len(dst) > 0 {
-		n := len(dst)
-		if n > 512 {
-			n = 512
-		}
-		cr.read(buf[:n*8])
-		if cr.err != nil {
-			return
-		}
-		for i := 0; i < n; i++ {
-			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
-		}
-		dst = dst[n:]
+// readAllocCap bounds the upfront capacity of a deserialized slice.
+// Growth past it happens by append, strictly in step with bytes that
+// actually arrived: a corrupted header claiming a gigantic matrix fails
+// with io.ErrUnexpectedEOF after at most one chunk of over-allocation
+// instead of attempting the full make() first.
+const readAllocCap = 1 << 16
+
+func (cr *countingReader) f64s(n int) []float64 {
+	if cr.err != nil || n == 0 {
+		return []float64{}
 	}
+	c := n
+	if c > readAllocCap {
+		c = readAllocCap
+	}
+	dst := make([]float64, 0, c)
+	var buf [512 * 8]byte
+	for len(dst) < n {
+		k := n - len(dst)
+		if k > 512 {
+			k = 512
+		}
+		cr.read(buf[:k*8])
+		if cr.err != nil {
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+	}
+	return dst
 }
 
-func (cr *countingReader) ints(dst []int) {
-	var buf [512 * 8]byte
-	for len(dst) > 0 {
-		n := len(dst)
-		if n > 512 {
-			n = 512
-		}
-		cr.read(buf[:n*8])
-		if cr.err != nil {
-			return
-		}
-		for i := 0; i < n; i++ {
-			dst[i] = int(binary.LittleEndian.Uint64(buf[i*8:]))
-		}
-		dst = dst[n:]
+func (cr *countingReader) ints(n int) []int {
+	if cr.err != nil || n == 0 {
+		return []int{}
 	}
+	c := n
+	if c > readAllocCap {
+		c = readAllocCap
+	}
+	dst := make([]int, 0, c)
+	var buf [512 * 8]byte
+	for len(dst) < n {
+		k := n - len(dst)
+		if k > 512 {
+			k = 512
+		}
+		cr.read(buf[:k*8])
+		if cr.err != nil {
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			dst = append(dst, int(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+	}
+	return dst
 }
 
 func (cr *countingReader) str() string {
@@ -271,9 +272,11 @@ func (cr *countingReader) dense() *mat.Dense {
 	if cr.err != nil {
 		return nil
 	}
-	d := mat.NewDense(rows, cols)
-	cr.f64s(d.A)
-	return d
+	a := cr.f64s(rows * cols)
+	if cr.err != nil {
+		return nil
+	}
+	return &mat.Dense{R: rows, C: cols, A: a}
 }
 
 func (cr *countingReader) csr() *sparse.CSR {
@@ -287,13 +290,10 @@ func (cr *countingReader) csr() *sparse.CSR {
 	c := &sparse.CSR{
 		Rows:   rows,
 		Cols:   cols,
-		RowPtr: make([]int, rows+1),
-		ColIdx: make([]int, nnz),
-		Val:    make([]float64, nnz),
+		RowPtr: cr.ints(rows + 1),
+		ColIdx: cr.ints(nnz),
+		Val:    cr.f64s(nnz),
 	}
-	cr.ints(c.RowPtr)
-	cr.ints(c.ColIdx)
-	cr.f64s(c.Val)
 	if cr.err != nil {
 		return nil
 	}
@@ -361,32 +361,7 @@ func (r *ROM) ReadFrom(src io.Reader) (int64, error) {
 	out.Stats.Factorizations = int64(cr.u64())
 	out.Stats.SolveCacheHits = int64(cr.u64())
 	flags := cr.u64()
-	sys := &qldae.System{N: cr.dim()}
-	if cr.byte() != 0 {
-		sys.G1 = cr.dense()
-	}
-	if cr.byte() != 0 {
-		sys.G1S = cr.csr()
-	}
-	if cr.byte() != 0 {
-		sys.G2 = cr.csr()
-	}
-	if cr.byte() != 0 {
-		sys.G3 = cr.csr()
-	}
-	if cr.byte() != 0 {
-		blocks := cr.dim()
-		if cr.err == nil {
-			sys.D1 = make([]*mat.Dense, blocks)
-			for i := range sys.D1 {
-				if cr.byte() != 0 {
-					sys.D1[i] = cr.dense()
-				}
-			}
-		}
-	}
-	sys.B = cr.dense()
-	sys.L = cr.dense()
+	sys := cr.systemBody()
 	if flags&1 != 0 {
 		out.V = cr.dense()
 	}

@@ -1,0 +1,114 @@
+package serve_test
+
+// Service-tier benchmarks, recorded in BENCH_solver.json. Regenerate:
+//
+//	go test -run XXX -bench 'BenchmarkServeReduce(Cold|StoreHit)|BenchmarkServeHTTPRoundTrip' \
+//	    -benchtime 100x ./serve/
+//
+// Cold pays a full reduction of a fresh 3-state clipper variant per
+// request (handler only, no sockets); StoreHit alternates two keys
+// through a 1-entry memory cache so every request reloads its artifact
+// from disk; HTTPRoundTrip hammers the memory-cached hot path through
+// a real TCP listener, measuring the wire overhead of the serving
+// tier.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"avtmor/serve"
+)
+
+// clipperVar is the test circuit with one load resistor left open for
+// per-iteration variation (distinct fingerprint → cold request).
+const clipperVar = `
+I1 0 n1 IN0 1.0
+C1 n1 0 1.0
+R1 n1 0 %.9f
+D1 n1 0 1.0 0.05
+R12 n1 n2 1.0
+C2 n2 0 1.0
+R2 n2 0 2.0
+.out n2
+`
+
+func benchPost(b *testing.B, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	b.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		b.Fatalf("POST %s: %d: %s", path, rr.Code, rr.Body.String())
+	}
+	return rr
+}
+
+func BenchmarkServeReduceCold(b *testing.B) {
+	s, err := serve.New(serve.Config{StoreDir: b.TempDir(), Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(clipperVar, 2.0+float64(i+1)*1e-6)
+		benchPost(b, h, reducePath, body)
+	}
+}
+
+func BenchmarkServeReduceStoreHit(b *testing.B) {
+	s, err := serve.New(serve.Config{StoreDir: b.TempDir(), Workers: 2, CacheLimit: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+	bodies := []string{
+		fmt.Sprintf(clipperVar, 2.0),
+		fmt.Sprintf(clipperVar, 3.0),
+	}
+	for _, body := range bodies {
+		benchPost(b, h, reducePath, body)
+	}
+	b.ResetTimer()
+	// With a 1-entry cache, alternating keys makes every request an
+	// in-memory miss answered by the on-disk store.
+	for i := 0; i < b.N; i++ {
+		benchPost(b, h, reducePath, bodies[i%2])
+	}
+}
+
+func BenchmarkServeHTTPRoundTrip(b *testing.B) {
+	s, err := serve.New(serve.Config{StoreDir: b.TempDir(), Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := fmt.Sprintf(clipperVar, 2.0)
+	do := func() {
+		resp, err := http.Post(ts.URL+reducePath, "text/plain", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		// Drain so the transport can reuse the connection.
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	do() // warm the cache: the loop measures the hot serving path
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do()
+	}
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"avtmor"
+)
+
+// TestRunBackpressure exercises the pool mechanics directly: with one
+// worker and a queue of one, the third concurrent submission is shed
+// with errBusy (→ 429), and capacity frees once work completes.
+func TestRunBackpressure(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	first := make(chan error, 1)
+	go func() {
+		first <- s.run(context.Background(), func() { close(started); <-block })
+	}()
+	<-started // the only worker is now busy
+
+	second := make(chan error, 1)
+	go func() {
+		second <- s.run(context.Background(), func() {})
+	}()
+	// Wait for the second job to occupy the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := s.run(context.Background(), func() {}); !errors.Is(err, errBusy) {
+		t.Fatalf("third submission: %v, want errBusy", err)
+	}
+	rr := httptest.NewRecorder()
+	s.runError(rr, errBusy)
+	if rr.Code != 429 || rr.Header().Get("Retry-After") == "" {
+		t.Fatalf("errBusy mapped to %d (Retry-After %q)", rr.Code, rr.Header().Get("Retry-After"))
+	}
+
+	close(block)
+	if err := <-first; err != nil {
+		t.Fatalf("first job: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("second job: %v", err)
+	}
+	// Capacity is back: a fresh submission runs.
+	if err := s.run(context.Background(), func() {}); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+// TestRunAbandonedWhileQueued: a caller whose context dies while its
+// job is still queued gets the context error, and the worker skips the
+// stale work instead of executing it.
+func TestRunAbandonedWhileQueued(t *testing.T) {
+	s, err := New(Config{Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go s.run(context.Background(), func() { close(started); <-block })
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	queued := make(chan error, 1)
+	go func() {
+		queued <- s.run(ctx, func() { ran = true })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned caller: %v", err)
+	}
+	close(block)
+	// Let the worker pop the stale job; it must skip fn.
+	for len(s.queue) != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.run(context.Background(), func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("worker executed a job whose caller had abandoned it")
+	}
+}
+
+// TestRememberBounded: with persistence disabled, the by-address
+// artifact map honors CacheLimit (oldest trimmed first) instead of
+// growing without bound.
+func TestRememberBounded(t *testing.T) {
+	s, err := New(Config{Workers: 1, CacheLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	roms := []*avtmor.ROM{{}, {}, {}}
+	for i, r := range roms {
+		s.remember(string(rune('a'+i)), r)
+	}
+	s.remember("c", roms[2]) // re-remember of a resident key must not duplicate
+	if len(s.mem) != 2 || len(s.memOrder) != 2 {
+		t.Fatalf("mem %d entries, order %d; want 2", len(s.mem), len(s.memOrder))
+	}
+	if rom, _ := s.lookup("a"); rom != nil {
+		t.Fatal("oldest artifact survived past the limit")
+	}
+	for i, d := range []string{"b", "c"} {
+		if rom, _ := s.lookup(d); rom != roms[i+1] {
+			t.Fatalf("artifact %s lost", d)
+		}
+	}
+	// Unbounded when CacheLimit is 0.
+	u, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 0; i < 100; i++ {
+		u.remember(string(rune(i)), &avtmor.ROM{})
+	}
+	if len(u.mem) != 100 {
+		t.Fatalf("unbounded mem trimmed to %d", len(u.mem))
+	}
+}
+
+// TestCloseShedsAndStops: Close stops the workers, and submissions
+// after Close fail with errClosed (→ 503).
+func TestCloseShedsAndStops(t *testing.T) {
+	s, err := New(Config{Workers: 2, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.run(context.Background(), func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.run(context.Background(), func() {}); !errors.Is(err, errClosed) {
+		t.Fatalf("post-Close submission: %v, want errClosed", err)
+	}
+	rr := httptest.NewRecorder()
+	s.runError(rr, errClosed)
+	if rr.Code != 503 {
+		t.Fatalf("errClosed mapped to %d", rr.Code)
+	}
+	// Close is idempotent.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

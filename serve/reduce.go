@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"avtmor"
+	"avtmor/internal/store"
+)
+
+// handleReduce accepts a netlist (text) or a serialized System
+// (binary, sniffed by magic) body, reduces it on the worker pool, and
+// streams the ROM artifact back. The response carries the artifact's
+// content address in X-Avtmor-Rom-Key for later GET/simulate calls.
+//
+// Query parameters (all optional):
+//
+//	k1,k2,k3     moment counts (WithOrders)
+//	auto         Hankel auto-order tolerance (WithAutoOrders); the
+//	             default when no k1/k2/k3 is given either
+//	s0           real expansion frequency, xp=f1,f2,… extra points
+//	droptol      deflation tolerance
+//	decoupledh2  1/true selects the Eq.-(18) Sylvester path
+//	solver       auto|dense|sparse
+//	parallel     1/true fans moment generation out over goroutines
+//	method       assoc (default) | norm
+//	timeout      per-request deadline (Go duration, e.g. 30s)
+func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	s.reduceReqs.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+		} else {
+			s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return
+	}
+	sys, err := parseSystemBody(body)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "parsing system: %v", err)
+		return
+	}
+	req, err := parseReduceQuery(r.URL.Query())
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	if req.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.timeout)
+		defer cancel()
+	}
+	key := avtmor.RequestKey(sys, req.opts...)
+	reduce := s.reducer.Reduce
+	if req.norm {
+		key = avtmor.RequestKeyNORM(sys, req.opts...)
+		reduce = s.reducer.ReduceNORM
+	}
+	digest := store.Digest(key)
+	var (
+		rom  *avtmor.ROM
+		rerr error
+	)
+	if err := s.run(ctx, func() {
+		rom, rerr = reduce(ctx, sys, req.opts...)
+	}); err != nil {
+		s.runError(w, err)
+		return
+	}
+	if rerr != nil {
+		s.opError(w, "reduction", rerr)
+		return
+	}
+	s.remember(digest, rom)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Avtmor-Rom-Key", digest)
+	w.Header().Set("X-Avtmor-Rom-Order", strconv.Itoa(rom.Order()))
+	rom.WriteTo(w)
+}
+
+// handleGetROM streams a stored artifact by content address.
+func (s *Server) handleGetROM(w http.ResponseWriter, r *http.Request) {
+	s.romGets.Add(1)
+	digest := r.PathValue("key")
+	rom, err := s.lookup(digest)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, "loading ROM: %v", err)
+		return
+	}
+	if rom == nil {
+		s.httpError(w, http.StatusNotFound, "no ROM with key %s", digest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Avtmor-Rom-Key", digest)
+	w.Header().Set("X-Avtmor-Rom-Order", strconv.Itoa(rom.Order()))
+	rom.WriteTo(w)
+}
+
+// opError maps engine failures of op ("reduction"/"simulation"):
+// context expiry → 504, anything else (singular expansion point,
+// order too large, diverged Newton, …) is the client's request
+// meeting this system → 422.
+func (s *Server) opError(w http.ResponseWriter, op string, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.httpError(w, http.StatusGatewayTimeout, "%s deadline exceeded", op)
+	case errors.Is(err, context.Canceled):
+		s.httpError(w, 499, "client canceled")
+	default:
+		s.httpError(w, http.StatusUnprocessableEntity, "%s failed: %v", op, err)
+	}
+}
+
+// parseSystemBody sniffs the body format: serialized System bytes, or
+// netlist text for anything that does not carry the System magic.
+func parseSystemBody(body []byte) (*avtmor.System, error) {
+	if len(bytes.TrimSpace(body)) == 0 {
+		return nil, errors.New("empty body; POST a netlist or a serialized System")
+	}
+	sys, err := avtmor.ReadSystem(bytes.NewReader(body))
+	if err == nil {
+		return sys, nil
+	}
+	if !errors.Is(err, avtmor.ErrBadSystemMagic) {
+		// It was a System stream — just a broken one. Netlist parsing
+		// would only produce a misleading error.
+		return nil, err
+	}
+	return avtmor.ParseNetlist(bytes.NewReader(body))
+}
+
+type reduceRequest struct {
+	opts    []avtmor.Option
+	norm    bool
+	timeout time.Duration
+}
+
+func parseReduceQuery(q url.Values) (*reduceRequest, error) {
+	req := &reduceRequest{}
+	getInt := func(name string) (int, bool, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, false, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, false, errf("parameter %s: %v", name, err)
+		}
+		return n, true, nil
+	}
+	getFloat := func(name string) (float64, bool, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, false, nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, false, errf("parameter %s: %v", name, err)
+		}
+		return f, true, nil
+	}
+	getBool := func(name string) (bool, error) {
+		switch v := q.Get(name); v {
+		case "", "0", "false":
+			return false, nil
+		case "1", "true":
+			return true, nil
+		default:
+			return false, errf("parameter %s: want 1/true or 0/false, got %q", name, v)
+		}
+	}
+
+	k1, hasK1, err := getInt("k1")
+	if err != nil {
+		return nil, err
+	}
+	k2, hasK2, err := getInt("k2")
+	if err != nil {
+		return nil, err
+	}
+	k3, hasK3, err := getInt("k3")
+	if err != nil {
+		return nil, err
+	}
+	hasK := hasK1 || hasK2 || hasK3
+	if k1 < 0 || k2 < 0 || k3 < 0 {
+		return nil, errf("moment counts must be non-negative, got k1=%d k2=%d k3=%d", k1, k2, k3)
+	}
+	auto, hasAuto, err := getFloat("auto")
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case hasAuto && hasK:
+		return nil, errf("auto and k1/k2/k3 are mutually exclusive")
+	case hasAuto:
+		req.opts = append(req.opts, avtmor.WithAutoOrders(auto))
+	case hasK:
+		if k1+k2+k3 == 0 {
+			return nil, errf("explicit orders need at least one positive count (or drop them for auto selection)")
+		}
+		req.opts = append(req.opts, avtmor.WithOrders(k1, k2, k3))
+	default:
+		// No order selection at all: pick them from the Hankel decay.
+		req.opts = append(req.opts, avtmor.WithAutoOrders(0))
+	}
+
+	s0, hasS0, err := getFloat("s0")
+	if err != nil {
+		return nil, err
+	}
+	var extra []float64
+	if xp := q.Get("xp"); xp != "" {
+		for _, part := range strings.Split(xp, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, errf("parameter xp: %v", err)
+			}
+			extra = append(extra, f)
+		}
+	}
+	if hasS0 || len(extra) > 0 {
+		req.opts = append(req.opts, avtmor.WithExpansion(s0, extra...))
+	}
+
+	if tol, ok, err := getFloat("droptol"); err != nil {
+		return nil, err
+	} else if ok {
+		req.opts = append(req.opts, avtmor.WithDropTol(tol))
+	}
+	if dec, err := getBool("decoupledh2"); err != nil {
+		return nil, err
+	} else if dec {
+		req.opts = append(req.opts, avtmor.WithDecoupledH2())
+	}
+	if par, err := getBool("parallel"); err != nil {
+		return nil, err
+	} else if par {
+		req.opts = append(req.opts, avtmor.WithParallel())
+	}
+	switch v := q.Get("solver"); v {
+	case "", "auto":
+	case "dense":
+		req.opts = append(req.opts, avtmor.WithSolver(avtmor.SolverDense))
+	case "sparse":
+		req.opts = append(req.opts, avtmor.WithSolver(avtmor.SolverSparse))
+	default:
+		return nil, errf("parameter solver: want auto, dense, or sparse, got %q", v)
+	}
+	switch v := q.Get("method"); v {
+	case "", "assoc":
+	case "norm":
+		req.norm = true
+	default:
+		return nil, errf("parameter method: want assoc or norm, got %q", v)
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, errf("parameter timeout: want a positive Go duration, got %q", v)
+		}
+		req.timeout = d
+	}
+	return req, nil
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -1,0 +1,321 @@
+// Package serve exposes the avtmor reduction engine as an HTTP
+// service: POST a netlist (or a serialized System) and get back a ROM
+// artifact; simulate stored ROMs over the wire; survive restarts via a
+// content-addressed on-disk store. It is the serving tier of the
+// paper's amortization argument — reduce once, evaluate many — lifted
+// to the process boundary.
+//
+// Endpoints (see DESIGN.md §5 for the full table):
+//
+//	POST /v1/reduce                  netlist or serialized-System body → ROM binary
+//	GET  /v1/roms/{key}              stored ROM binary by content address
+//	POST /v1/roms/{key}/simulate     workload JSON → transient result JSON/CSV
+//	GET  /healthz                    liveness
+//	GET  /metrics                    expvar-style JSON counters
+//
+// Reductions and simulations execute on a bounded worker pool with a
+// bounded wait queue; overflow is answered 429 so load sheds at the
+// edge instead of piling up goroutines. Identical concurrent reduce
+// requests coalesce onto one reduction (Reducer singleflight), and
+// completed artifacts are written through to the store, where a
+// restarted daemon finds them again.
+package serve
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"avtmor"
+	"avtmor/internal/store"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// StoreDir is the on-disk ROM store directory. "" disables
+	// persistence: artifacts live in memory only and die with the
+	// process.
+	StoreDir string
+	// Workers bounds concurrently executing reductions and
+	// simulations. Default: runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; overflow is
+	// answered 429. Default 64; negative means no queue (a request
+	// either starts immediately or is rejected).
+	QueueDepth int
+	// CacheLimit bounds the in-memory ROM cache (LRU eviction; evicted
+	// entries reload from the store). With persistence disabled it
+	// also bounds the by-address artifact map (oldest dropped, so old
+	// keys stop resolving — configure a StoreDir to keep them).
+	// 0 = unbounded.
+	CacheLimit int
+	// MaxBodyBytes caps request bodies. Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP reduction service. Create with New, mount
+// Handler, and Close on shutdown.
+type Server struct {
+	cfg     Config
+	reducer *avtmor.Reducer
+	st      *store.Store // nil when persistence is disabled
+
+	mu       sync.Mutex
+	mem      map[string]*avtmor.ROM // digest → artifact, when st == nil
+	memOrder []string               // insertion order, for CacheLimit trimming
+
+	queue    chan func()
+	closed   chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+	busy     atomic.Int64
+
+	vars                          *expvar.Map
+	reduceReqs, simReqs, romGets  expvar.Int
+	rejected, clientErrs, srvErrs expvar.Int
+}
+
+// New opens the store (when configured), builds the Reducer tier, and
+// starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	var ropts []avtmor.ReducerOption
+	if cfg.CacheLimit > 0 {
+		ropts = append(ropts, avtmor.WithCacheLimit(cfg.CacheLimit))
+	}
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		if st, err = store.Open(cfg.StoreDir); err != nil {
+			return nil, fmt.Errorf("serve: opening ROM store: %w", err)
+		}
+		ropts = append(ropts, avtmor.WithROMStore(st))
+	}
+	s := &Server{
+		cfg:     cfg,
+		reducer: avtmor.NewReducer(ropts...),
+		st:      st,
+		mem:     map[string]*avtmor.ROM{},
+		queue:   make(chan func(), cfg.QueueDepth),
+		closed:  make(chan struct{}),
+	}
+	s.initVars()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the route table. It can be mounted under a prefix
+// with http.StripPrefix.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/reduce", s.handleReduce)
+	mux.HandleFunc("GET /v1/roms/{key}", s.handleGetROM)
+	mux.HandleFunc("POST /v1/roms/{key}/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Close drains the worker pool: waiting requests are answered 503, and
+// Close returns once in-flight work finishes (work holds a request
+// context, so an upstream http.Server shutdown that cancels request
+// contexts bounds the wait).
+func (s *Server) Close() error {
+	s.closeOne.Do(func() { close(s.closed) })
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case fn := <-s.queue:
+			s.busy.Add(1)
+			fn()
+			s.busy.Add(-1)
+		}
+	}
+}
+
+// Pool submission outcomes that map to HTTP statuses.
+var (
+	errBusy   = errors.New("serve: worker pool and queue are full")
+	errClosed = errors.New("serve: server is shutting down")
+)
+
+// run executes fn on the worker pool, waiting for completion, the
+// caller's context, or shutdown. A full queue fails fast with errBusy
+// (backpressure, not buffering). When run returns nil, fn has
+// completed and its captured results are safe to read.
+func (s *Server) run(ctx context.Context, fn func()) error {
+	select {
+	case <-s.closed:
+		return errClosed
+	default:
+	}
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		if ctx.Err() == nil {
+			fn()
+		}
+	}
+	select {
+	case s.queue <- job:
+	default:
+		return errBusy
+	}
+	select {
+	case <-done:
+		if err := ctx.Err(); err != nil {
+			// The job was popped after the caller's deadline and
+			// skipped the work; report the context, not success.
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.closed:
+		return errClosed
+	}
+}
+
+// lookup resolves a content address to a servable ROM, or (nil, nil)
+// when unknown.
+func (s *Server) lookup(digest string) (*avtmor.ROM, error) {
+	if s.st != nil {
+		return s.st.Get(digest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem[digest], nil
+}
+
+// remember records a reduced artifact for by-address lookups when no
+// store is configured, trimming oldest-first past CacheLimit so the
+// persistence-disabled daemon stays bounded too.
+func (s *Server) remember(digest string, rom *avtmor.ROM) {
+	if s.st != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.mem[digest]; ok {
+		return
+	}
+	s.mem[digest] = rom
+	s.memOrder = append(s.memOrder, digest)
+	if n := s.cfg.CacheLimit; n > 0 {
+		for len(s.memOrder) > n {
+			delete(s.mem, s.memOrder[0])
+			s.memOrder = s.memOrder[1:]
+		}
+	}
+}
+
+func (s *Server) initVars() {
+	m := new(expvar.Map).Init()
+	m.Set("reduce_requests", &s.reduceReqs)
+	m.Set("simulate_requests", &s.simReqs)
+	m.Set("rom_gets", &s.romGets)
+	m.Set("rejected", &s.rejected)
+	m.Set("client_errors", &s.clientErrs)
+	m.Set("server_errors", &s.srvErrs)
+	m.Set("workers", intVar(int64(s.cfg.Workers)))
+	m.Set("queue_capacity", intVar(int64(s.cfg.QueueDepth)))
+	gauge := func(name string, f func() any) { m.Set(name, expvar.Func(f)) }
+	gauge("queue_depth", func() any { return len(s.queue) })
+	gauge("workers_busy", func() any { return s.busy.Load() })
+	rstat := func(f func(avtmor.ReducerStats) any) func() any {
+		return func() any { return f(s.reducer.Stats()) }
+	}
+	gauge("reductions", rstat(func(st avtmor.ReducerStats) any { return st.Reductions }))
+	gauge("cache_hits", rstat(func(st avtmor.ReducerStats) any { return st.CacheHits }))
+	gauge("store_hits", rstat(func(st avtmor.ReducerStats) any { return st.StoreHits }))
+	gauge("store_errors", rstat(func(st avtmor.ReducerStats) any { return st.StoreErrors }))
+	gauge("coalesced", rstat(func(st avtmor.ReducerStats) any { return st.Coalesced }))
+	gauge("evictions", rstat(func(st avtmor.ReducerStats) any { return st.Evictions }))
+	gauge("cached_roms", rstat(func(st avtmor.ReducerStats) any { return st.CachedROMs }))
+	gauge("inflight_reductions", rstat(func(st avtmor.ReducerStats) any { return st.InFlight }))
+	gauge("store_roms", func() any {
+		if s.st == nil {
+			return 0
+		}
+		return s.st.Len()
+	})
+	gauge("store_quarantined", func() any {
+		if s.st == nil {
+			return 0
+		}
+		return s.st.Stats().Quarantined
+	})
+	s.vars = m
+}
+
+// intVar is a constant expvar value.
+type intVar int64
+
+func (v intVar) String() string { return fmt.Sprintf("%d", int64(v)) }
+
+// handleMetrics renders every counter and gauge as one JSON object —
+// expvar's wire shape, served from per-Server vars instead of the
+// process-global expvar page so multiple Servers (and tests) never
+// collide on names.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, s.vars.String())
+}
+
+// httpError writes a plain-text error and counts it.
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code >= 500 {
+		s.srvErrs.Add(1)
+	} else if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		s.rejected.Add(1)
+	} else {
+		s.clientErrs.Add(1)
+	}
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// runError maps pool/context failures to statuses: backpressure → 429,
+// shutdown → 503, deadline → 504, client gone → 499 (nginx's
+// convention; the client never sees it).
+func (s *Server) runError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy):
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusTooManyRequests, "worker pool saturated, retry later")
+	case errors.Is(err, errClosed):
+		s.httpError(w, http.StatusServiceUnavailable, "shutting down")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.httpError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	default:
+		s.httpError(w, 499, "client canceled")
+	}
+}

@@ -1,0 +1,152 @@
+package avtmor
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"avtmor/internal/mat"
+	"avtmor/internal/qldae"
+)
+
+// System wire format (versioned, little-endian) — the request-body twin
+// of the ROM format in romio.go, so a client can build a System once,
+// serialize it, and POST the bytes to a reduction daemon instead of
+// re-shipping a netlist:
+//
+//	magic   [8]byte  "AVTMSYS\x00"
+//	version uint32   currently 1
+//	desc    string   (uint32 length + bytes; the Description summary)
+//	system  QLDAE body: n uint64, presence byte per matrix
+//	        (G1, G1S, G2, G3, D1, then B and L unconditionally)
+//
+// The QLDAE body encoding is byte-identical to the reduced-system
+// section of the ROM format (the two formats share one codec), and
+// every float64 travels as its exact IEEE-754 bits: a WriteTo →
+// ReadSystem round trip reproduces the same Fingerprint, so a
+// serialized system dedupes against its in-process twin in every
+// Reducer and store key.
+
+var systemMagic = [8]byte{'A', 'V', 'T', 'M', 'S', 'Y', 'S', 0}
+
+// systemFormatVersion is bumped on any wire-format change; readers
+// reject versions they do not understand.
+const systemFormatVersion = 1
+
+// ErrBadSystemMagic is returned by ReadSystem when the stream does not
+// start with the System magic header (corrupted or foreign data — for
+// example a netlist, which callers may then try to parse as text).
+var ErrBadSystemMagic = errors.New("avtmor: not a serialized System (bad magic header)")
+
+// ErrSystemVersion is returned by ReadSystem for a well-formed header
+// whose format version this build does not support.
+var ErrSystemVersion = errors.New("avtmor: unsupported System format version")
+
+// systemBody serializes the QLDAE matrices — shared verbatim between
+// the ROM format's reduced-system section and the System format.
+func (cw *countingWriter) systemBody(sys *qldae.System) {
+	cw.u64(uint64(sys.N))
+	writePresent := func(present bool, emit func()) {
+		if present {
+			cw.write([]byte{1})
+			emit()
+		} else {
+			cw.write([]byte{0})
+		}
+	}
+	writePresent(sys.G1 != nil, func() { cw.dense(sys.G1) })
+	writePresent(sys.G1S != nil, func() { cw.csr(sys.G1S) })
+	writePresent(sys.G2 != nil, func() { cw.csr(sys.G2) })
+	writePresent(sys.G3 != nil, func() { cw.csr(sys.G3) })
+	writePresent(sys.D1 != nil, func() {
+		cw.u64(uint64(len(sys.D1)))
+		for _, d := range sys.D1 {
+			writePresent(d != nil, func() { cw.dense(d) })
+		}
+	})
+	cw.dense(sys.B)
+	cw.dense(sys.L)
+}
+
+// systemBody deserializes the QLDAE matrices. The returned system is
+// never nil; failure is reported through cr.err, and the caller must
+// check it before trusting (or Validate-ing) the result.
+func (cr *countingReader) systemBody() *qldae.System {
+	sys := &qldae.System{N: cr.dim()}
+	if cr.byte() != 0 {
+		sys.G1 = cr.dense()
+	}
+	if cr.byte() != 0 {
+		sys.G1S = cr.csr()
+	}
+	if cr.byte() != 0 {
+		sys.G2 = cr.csr()
+	}
+	if cr.byte() != 0 {
+		sys.G3 = cr.csr()
+	}
+	if cr.byte() != 0 {
+		blocks := cr.dim()
+		if cr.err == nil {
+			// Grown by append: each block costs at least one presence
+			// byte in the stream, so a corrupted count fails on read
+			// instead of provoking a huge upfront allocation.
+			c := blocks
+			if c > readAllocCap {
+				c = readAllocCap
+			}
+			sys.D1 = make([]*mat.Dense, 0, c)
+			for i := 0; i < blocks && cr.err == nil; i++ {
+				var d *mat.Dense
+				if cr.byte() != 0 {
+					d = cr.dense()
+				}
+				sys.D1 = append(sys.D1, d)
+			}
+		}
+	}
+	sys.B = cr.dense()
+	sys.L = cr.dense()
+	return sys
+}
+
+// WriteTo serializes the System in the versioned binary format — the
+// request-body form accepted by the serve package's POST /v1/reduce in
+// place of a netlist. It implements io.WriterTo.
+func (s *System) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	cw.write(systemMagic[:])
+	cw.u32(systemFormatVersion)
+	cw.str(s.desc)
+	cw.systemBody(s.sys)
+	return cw.n, cw.err
+}
+
+// ReadSystem deserializes a System previously written by WriteTo.
+// Exactly the System's bytes are consumed (no read-ahead). The loaded
+// system validates like a built one and reproduces the original
+// Fingerprint bit for bit, so it is cache-equivalent to the instance
+// that was serialized.
+func ReadSystem(r io.Reader) (*System, error) {
+	cr := &countingReader{r: r}
+	var magic [8]byte
+	cr.read(magic[:])
+	if cr.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSystemMagic, cr.err)
+	}
+	if magic != systemMagic {
+		return nil, ErrBadSystemMagic
+	}
+	if v := cr.u32(); cr.err == nil && v != systemFormatVersion {
+		return nil, fmt.Errorf("%w: stream has v%d, this build reads v%d", ErrSystemVersion, v, systemFormatVersion)
+	}
+	desc := cr.str()
+	sys := cr.systemBody()
+	if cr.err != nil {
+		return nil, fmt.Errorf("avtmor: truncated or corrupted System stream: %w", cr.err)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("avtmor: deserialized System is inconsistent: %w", err)
+	}
+	return wrapSystem(sys, desc), nil
+}

@@ -1,0 +1,125 @@
+package avtmor_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"avtmor"
+)
+
+// TestSystemWireRoundTrip: serialize → deserialize reproduces the
+// dimensions, the description, the Fingerprint (so the twin dedupes in
+// every cache), and a bit-identical ROM from the same Reduce call.
+// NTLVoltage exercises the full matrix inventory (dense G1, CSR
+// mirror, G2, D1).
+func TestSystemWireRoundTrip(t *testing.T) {
+	w := avtmor.NTLVoltage(8)
+	sys := w.System
+	var b bytes.Buffer
+	n, err := sys.WriteTo(&b)
+	if err != nil || n != int64(b.Len()) {
+		t.Fatalf("WriteTo: %d bytes, %v", n, err)
+	}
+	got, err := avtmor.ReadSystem(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.States() != sys.States() || got.Inputs() != sys.Inputs() || got.Outputs() != sys.Outputs() {
+		t.Fatalf("dimensions: %d/%d/%d vs %d/%d/%d",
+			got.States(), got.Inputs(), got.Outputs(), sys.States(), sys.Inputs(), sys.Outputs())
+	}
+	if got.HasQuadratic() != sys.HasQuadratic() || got.HasBilinear() != sys.HasBilinear() {
+		t.Fatal("nonlinear structure lost in round trip")
+	}
+	if got.Description() != sys.Description() {
+		t.Fatalf("description %q vs %q", got.Description(), sys.Description())
+	}
+	if got.Fingerprint() != sys.Fingerprint() {
+		t.Fatalf("fingerprint changed across the wire: %016x vs %016x", got.Fingerprint(), sys.Fingerprint())
+	}
+	opts := []avtmor.Option{avtmor.WithOrders(3, 2, 0), avtmor.WithExpansion(w.S0)}
+	if avtmor.RequestKey(got, opts...) != avtmor.RequestKey(sys, opts...) {
+		t.Fatal("cache keys diverge — serialized twin would not dedupe")
+	}
+	// Reducing the twin is bit-identical in everything deterministic
+	// (the serialized Stats.Build wall clock is the one legitimate
+	// difference between two independent reductions, so compare the
+	// artifacts' behavior, not their bytes).
+	romA, err := avtmor.Reduce(context.Background(), sys, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	romB, err := avtmor.Reduce(context.Background(), got, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if romA.Order() != romB.Order() || romA.Method() != romB.Method() {
+		t.Fatalf("twin ROM shape: order %d/%d method %s/%s", romA.Order(), romB.Order(), romA.Method(), romB.Method())
+	}
+	for _, s := range []complex128{complex(w.S0, 0.1), complex(2*w.S0, 1)} {
+		ya, err := romA.TransferH1(0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yb, err := romB.TransferH1(0, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ya {
+			if ya[i] != yb[i] {
+				t.Fatalf("twin ROM transfer differs at %v: %v vs %v", s, ya[i], yb[i])
+			}
+		}
+	}
+
+	// Exactly the System's bytes are consumed: two concatenated
+	// systems read back to back.
+	var two bytes.Buffer
+	sys.WriteTo(&two)
+	sys.WriteTo(&two)
+	r := bytes.NewReader(two.Bytes())
+	if _, err := avtmor.ReadSystem(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := avtmor.ReadSystem(r); err != nil {
+		t.Fatalf("second concatenated System: %v", err)
+	}
+}
+
+// TestReadSystemRejects: wrong magic (including a ROM stream), future
+// versions, truncations, and inconsistent bodies are classified
+// errors, never panics.
+func TestReadSystemRejects(t *testing.T) {
+	w := avtmor.NTLCurrent(12)
+	var b bytes.Buffer
+	if _, err := w.System.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	valid := b.Bytes()
+
+	if _, err := avtmor.ReadSystem(strings.NewReader("not a system")); !errors.Is(err, avtmor.ErrBadSystemMagic) {
+		t.Fatalf("foreign data: %v", err)
+	}
+	rom, err := avtmor.Reduce(context.Background(), w.System, avtmor.WithOrders(2, 0, 0), avtmor.WithExpansion(w.S0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rb bytes.Buffer
+	rom.WriteTo(&rb)
+	if _, err := avtmor.ReadSystem(bytes.NewReader(rb.Bytes())); !errors.Is(err, avtmor.ErrBadSystemMagic) {
+		t.Fatalf("ROM stream accepted as System: %v", err)
+	}
+	future := append([]byte{}, valid...)
+	future[8] = 99 // version little-endian low byte
+	if _, err := avtmor.ReadSystem(bytes.NewReader(future)); !errors.Is(err, avtmor.ErrSystemVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+	for n := 0; n < len(valid); n++ {
+		if _, err := avtmor.ReadSystem(bytes.NewReader(valid[:n])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", n, len(valid))
+		}
+	}
+}
