@@ -12,6 +12,7 @@ package avtmor_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -299,6 +300,72 @@ func BenchmarkReducerCachedN500(b *testing.B) {
 		}
 	}
 }
+
+// --- Block multi-RHS solve path (SolveBatch) ---
+//
+// The batch benchmarks factor a 1023-state RLC line once and then push
+// k right-hand sides through one SolveBatch per iteration; k=1 is the
+// single-RHS baseline shape. Batching amortizes the triangular-factor
+// traversal (dense rows / sparse step metadata) across columns, and the
+// pooled workspaces make the steady state allocation-free — compare
+// allocs/op against the k-looped Solve path recorded pre-refactor in
+// BENCH_solver.json.
+
+func benchSolveBatch(b *testing.B, ls solver.LinearSolver) {
+	b.Helper()
+	w := rlcSized(1024) // 1023 states
+	f, err := ls.Factor(solver.Operand(w.Sys.G1, w.Sys.G1S))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{1, 4, 16} {
+		rhs := make([][]float64, k)
+		cols := make([][]float64, k)
+		for c := range rhs {
+			rhs[c] = mat.RandVec(rng, w.Sys.N)
+			cols[c] = make([]float64, w.Sys.N)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for c := range cols {
+					copy(cols[c], rhs[c])
+				}
+				f.SolveBatch(cols)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveBatchDense(b *testing.B)  { benchSolveBatch(b, solver.Dense{}) }
+func BenchmarkSolveBatchSparse(b *testing.B) { benchSolveBatch(b, solver.Sparse{}) }
+
+// --- End-to-end blocked reduction at n ≥ 1023 ---
+//
+// BenchmarkReduceBlocked is the acceptance benchmark of the block solve
+// path: a multipoint reduction of the 1023-state RLC line with batching
+// on (BlockSize auto). BenchmarkReduceSingleRHS is the identical
+// request forced down the vector-granular path (BlockSize 1); the ROMs
+// are bit-identical (TestReduceBlockedBitExact), only cost moves.
+// Pre-refactor this workload measured 15.77 ms/op and 35076 allocs/op
+// (BENCH_solver.json).
+
+func benchReduceBlocked(b *testing.B, blockSize int) {
+	b.Helper()
+	w := rlcSized(1024) // 1023 states
+	opt := core.Options{K1: 6, ExtraPoints: []float64{0.4, 0.9}, BlockSize: blockSize}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Reduce(w.Sys, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduceBlocked(b *testing.B)   { benchReduceBlocked(b, 0) }
+func BenchmarkReduceSingleRHS(b *testing.B) { benchReduceBlocked(b, 1) }
 
 func BenchmarkSolverKronSum3N102(b *testing.B) {
 	w := circuits.Varistor()

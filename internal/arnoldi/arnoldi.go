@@ -32,11 +32,28 @@ func (f FuncOp) Dim() int { return f.N }
 // Apply invokes the closure.
 func (f FuncOp) Apply(dst, src []float64) { f.F(dst, src) }
 
+// BatchOp is an Op that can apply itself to a whole block of vectors at
+// once. Krylov detects it and pushes each frontier through one
+// ApplyBatch call instead of per-column Apply calls, so shift-inverted
+// operators amortize their factor traversal across the block (the
+// multi-RHS substitution win). ApplyBatch must be column-wise
+// equivalent to Apply — same values, bit for bit — which keeps the
+// generated basis independent of the batching decision.
+type BatchOp interface {
+	Op
+	// ApplyBatch computes dst[c] = Op·src[c] for every column; dst
+	// columns must not alias src columns.
+	ApplyBatch(dst, src [][]float64)
+}
+
 // SolveOp adapts a solver.Factorization to Op: every Apply is one
 // back-solve, so Krylov over SolveOp spans the shift-inverted moment
-// space of the factored pencil. This is how the moment generators hand
-// their cached (G1 − s0·I) factorizations — dense or sparse — to the
-// subspace iteration.
+// space of the factored pencil. (The moment generators of
+// internal/assoc now drive their factorizations through their own
+// block-size-aware batching; SolveOp remains the generic adapter for
+// any Factorization-backed subspace iteration.) It implements BatchOp
+// through the factorization's block substitution — note ApplyBatch
+// pushes the whole frontier as one block, uncapped.
 type SolveOp struct{ F solver.Factorization }
 
 // Dim returns the factorization dimension.
@@ -44,6 +61,14 @@ func (s SolveOp) Dim() int { return s.F.N() }
 
 // Apply computes dst = A⁻¹·src.
 func (s SolveOp) Apply(dst, src []float64) { s.F.Solve(dst, src) }
+
+// ApplyBatch computes dst[c] = A⁻¹·src[c] through one SolveBatch.
+func (s SolveOp) ApplyBatch(dst, src [][]float64) {
+	for c := range dst {
+		copy(dst[c], src[c])
+	}
+	s.F.SolveBatch(dst)
+}
 
 // MatOp adapts a dense matrix to Op.
 type MatOp struct{ M *mat.Dense }
@@ -92,15 +117,34 @@ func Krylov(op Op, start [][]float64, steps int, dropTol float64) *Result {
 			res.Deflated++
 		}
 	}
+	bop, batching := op.(BatchOp)
 	tmp := make([]float64, n)
+	var block [][]float64 // batched images of the frontier, lazily sized
 	for step := 1; step < steps && len(frontier) > 0; step++ {
 		next := frontier[:0:0]
-		for _, f := range frontier {
-			op.Apply(tmp, f)
-			if q, ok := orthoAdd(&basis, tmp, dropTol); ok {
-				next = append(next, q)
-			} else {
-				res.Deflated++
+		if batching && len(frontier) > 1 {
+			// Apply the whole frontier in one batched operator call,
+			// then orthogonalize in the same order as the scalar path —
+			// per-column values are identical, so the basis is too.
+			for len(block) < len(frontier) {
+				block = append(block, make([]float64, n))
+			}
+			bop.ApplyBatch(block[:len(frontier)], frontier)
+			for i := range frontier {
+				if q, ok := orthoAdd(&basis, block[i], dropTol); ok {
+					next = append(next, q)
+				} else {
+					res.Deflated++
+				}
+			}
+		} else {
+			for _, f := range frontier {
+				op.Apply(tmp, f)
+				if q, ok := orthoAdd(&basis, tmp, dropTol); ok {
+					next = append(next, q)
+				} else {
+					res.Deflated++
+				}
 			}
 		}
 		frontier = next

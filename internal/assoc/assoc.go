@@ -39,10 +39,11 @@ import (
 // core.Reduce's parallel fan-out: the shifted caches are mutexed, and
 // distinct shifts factor concurrently.
 type Realization struct {
-	Sys *qldae.System
-	gt2 *Gt2
-	sc  *solver.ShiftedCache // cache: (G1 − τI) factorizations
-	ctx context.Context      // cancels the Krylov chains and factor steps
+	Sys   *qldae.System
+	gt2   *Gt2
+	sc    *solver.ShiftedCache // cache: (G1 − τI) factorizations
+	ctx   context.Context      // cancels the Krylov chains and factor steps
+	block int                  // SolveBatch width cap; 0 = batch everything
 
 	mu     sync.Mutex
 	s2     *kron.SumSolver2 // (⊕²G1 − σI)⁻¹ via Schur(G1), lazy
@@ -84,8 +85,44 @@ func NewWithSolverCtx(ctx context.Context, sys *qldae.System, ls solver.LinearSo
 	return r, nil
 }
 
+// SetBlockSize caps how many right-hand sides the moment generators
+// group into one SolveBatch call: 0 (the default) batches every column
+// that shares a shift, 1 reproduces the vector-granular legacy path,
+// and k > 1 caps blocks at k columns. Per-column results are
+// bit-identical for every setting — SolveBatch is arithmetic-equivalent
+// to looped Solve — so the ROM does not depend on the choice; only the
+// locality/scratch-memory trade-off moves. Call before moment
+// generation starts: the value is read concurrently afterwards.
+func (r *Realization) SetBlockSize(k int) {
+	if k < 0 {
+		k = 0
+	}
+	r.block = k
+}
+
+// solveBatch pushes cols through f in blocks of the configured width.
+// Each column is overwritten in place with its solution.
+func (r *Realization) solveBatch(f solver.Factorization, cols [][]float64) {
+	n := len(cols)
+	if n == 0 {
+		return
+	}
+	bs := r.block
+	if bs <= 0 || bs > n {
+		bs = n
+	}
+	for i := 0; i < n; i += bs {
+		j := i + bs
+		if j > n {
+			j = n
+		}
+		f.SolveBatch(cols[i:j])
+	}
+}
+
 // SolverStats reports the shifted-factorization cache counters (factor
-// steps actually paid, cache hits) for the observability layer.
+// steps actually paid, cache hits, batch-solve traffic) for the
+// observability layer.
 func (r *Realization) SolverStats() solver.CacheStats { return r.sc.Stats() }
 
 // SolverBackend names the backend the shifted pencil actually factors
@@ -233,6 +270,63 @@ func (g *Gt2) SolveShifted(tau float64, rhs []float64) ([]float64, error) {
 	copy(out[:n], top)
 	copy(out[n:], w)
 	return out, nil
+}
+
+// SolveShiftedBatch computes (G̃2 − τI)⁻¹·rhs for a block of right-hand
+// sides sharing one shift: the Kronecker-sum solves stay per column
+// (the Schur recurrence is inherently vector-granular), but the top
+// blocks all go through one batched (G1 − τI) substitution — the chain
+// grouping of the block solve path. Per-column results are
+// bit-identical to looped SolveShifted calls.
+func (g *Gt2) SolveShiftedBatch(tau float64, rhss [][]float64) ([][]float64, error) {
+	if err := g.r.ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := g.r.Sys.N
+	s2, err := g.r.Sum2()
+	if err != nil {
+		return nil, err
+	}
+	f, err := g.r.shiftedLU(tau)
+	if err != nil {
+		return nil, err
+	}
+	// The top blocks solve in place inside the output buffers: outs[i]
+	// is assembled as [rhs top | w] and its leading n entries are then
+	// corrected and substituted directly — no per-column staging copy.
+	outs := make([][]float64, len(rhss))
+	tops := make([][]float64, len(rhss))
+	ws := make([][]float64, len(rhss))
+	for i, rhs := range rhss {
+		if len(rhs) != n+n*n {
+			panic("assoc: Gt2 SolveShiftedBatch length mismatch")
+		}
+		w, err := s2.Solve(tau, rhs[n:])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n+n*n)
+		copy(out[:n], rhs[:n])
+		copy(out[n:], w)
+		outs[i] = out
+		tops[i] = out[:n]
+		ws[i] = out[n:]
+	}
+	if g.r.Sys.G2 != nil {
+		// One batched G2 pass for every column's coupling term (the row
+		// metadata of the n×n² block is traversed once for the block).
+		g2w := make([][]float64, len(ws))
+		for i := range g2w {
+			g2w[i] = mat.GetVec(n)
+		}
+		g.r.Sys.G2.MulBatchTo(g2w, ws)
+		for i := range tops {
+			mat.Axpy(-1, g2w[i], tops[i])
+			mat.PutVec(g2w[i])
+		}
+	}
+	g.r.solveBatch(f, tops)
+	return outs, nil
 }
 
 // SolveShiftedC computes (G̃2 − τI)⁻¹·rhs for complex τ.

@@ -121,49 +121,72 @@ func (r *Realization) H2CandidatesDecoupled(k2 int, s0 float64) ([][]float64, er
 	if err != nil {
 		return nil, err
 	}
-	var out [][]float64
+	// Subsystem-1 seeds of every input pair: M⁻¹-chains from
+	// D1b − Π·b². The chains are independent, so they advance in
+	// lockstep — one Π·b² batch multiply and one SolveBatch over all
+	// pairs per Krylov step — while the emitted candidate order below
+	// stays pair-major, exactly as the vector-granular path produced it.
+	var tops, b2s [][]float64
 	for i := 0; i < sys.Inputs(); i++ {
 		for j := i; j < sys.Inputs(); j++ {
 			bt := r.Btilde2(i, j)
-			top, b2 := bt[:n], bt[n:]
-			// Subsystem 1: K_{k2}(M⁻¹, M⁻¹·(D1b − Π·b²)).
-			seed := make([]float64, n)
-			pi.MulVec(seed, b2)
-			mat.ScaleVec(-1, seed)
-			mat.Axpy(1, top, seed)
-			cur := seed
-			for k := 0; k < k2; k++ {
-				if err := r.ctx.Err(); err != nil {
-					return nil, err
-				}
-				next := make([]float64, n)
-				f.Solve(next, cur)
-				if nn := mat.Norm2(next); nn > 0 {
-					mat.ScaleVec(1/nn, next)
-				}
-				out = append(out, next)
-				cur = next
+			tops = append(tops, bt[:n])
+			b2s = append(b2s, bt[n:])
+		}
+	}
+	seeds := make([][]float64, len(b2s))
+	for p := range seeds {
+		seeds[p] = make([]float64, n)
+	}
+	pi.MulBatchTo(seeds, b2s)
+	for p, seed := range seeds {
+		mat.ScaleVec(-1, seed)
+		mat.Axpy(1, tops[p], seed)
+	}
+	npairs := len(seeds)
+	sub1 := make([][][]float64, npairs)
+	cur := seeds
+	batch := make([][]float64, npairs)
+	for k := 0; k < k2; k++ {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
+		for p := 0; p < npairs; p++ {
+			batch[p] = mat.CopyVec(cur[p])
+		}
+		r.solveBatch(f, batch)
+		for p := 0; p < npairs; p++ {
+			next := batch[p]
+			if nn := mat.Norm2(next); nn > 0 {
+				mat.ScaleVec(1/nn, next)
 			}
-			// Subsystem 2: Π·(⊕²G1 − s0·I)^{-k}·b².
-			s2, err := r.Sum2()
+			sub1[p] = append(sub1[p], next)
+			cur[p] = next
+		}
+	}
+	// Subsystem 2: Π·(⊕²G1 − s0·I)^{-k}·b², per pair (the Kronecker-sum
+	// recurrence is vector-granular).
+	s2, err := r.Sum2()
+	if err != nil {
+		return nil, err
+	}
+	var out [][]float64
+	for p := 0; p < npairs; p++ {
+		out = append(out, sub1[p]...)
+		w := b2s[p]
+		for k := 0; k < k2; k++ {
+			w, err = s2.Solve(s0, w)
 			if err != nil {
 				return nil, err
 			}
-			w := b2
-			for k := 0; k < k2; k++ {
-				w, err = s2.Solve(s0, w)
-				if err != nil {
-					return nil, err
-				}
-				if nn := mat.Norm2(w); nn > 0 {
-					mat.ScaleVec(1/nn, w)
-				}
-				piw := make([]float64, n)
-				pi.MulVec(piw, w)
-				if nn := mat.Norm2(piw); nn > 1e-14 {
-					mat.ScaleVec(1/nn, piw)
-					out = append(out, piw)
-				}
+			if nn := mat.Norm2(w); nn > 0 {
+				mat.ScaleVec(1/nn, w)
+			}
+			piw := make([]float64, n)
+			pi.MulVec(piw, w)
+			if nn := mat.Norm2(piw); nn > 1e-14 {
+				mat.ScaleVec(1/nn, piw)
+				out = append(out, piw)
 			}
 		}
 	}

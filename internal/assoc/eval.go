@@ -85,13 +85,15 @@ func (r *Realization) EvalAssocH3(s complex128) ([]complex128, error) {
 		r.Sys.G2.MulVecC(rhs, h3t)
 	}
 	if sys.D1 != nil && sys.D1[0] != nil {
-		d1b := make([]float64, n)
+		d1b := mat.GetVec(n)
 		sys.D1[0].MulVec(d1b, b)
-		d1d1b := make([]float64, n)
+		d1d1b := mat.GetVec(n)
 		sys.D1[0].MulVec(d1d1b, d1b)
 		for k := range rhs {
 			rhs[k] += complex(d1d1b[k], 0)
 		}
+		mat.PutVec(d1b)
+		mat.PutVec(d1d1b)
 	}
 	// (sI − G1)⁻¹ rhs = −(G1 − sI)⁻¹ rhs.
 	f, err := r.shiftedCLU(s)
@@ -120,11 +122,12 @@ func (r *Realization) EvalAssocH3Cubic(s3 *kron.SumSolver3, s complex128) ([]com
 		return nil, err
 	}
 	rhs := make([]complex128, n)
-	tmp := make([]complex128, len(z))
+	tmp := mat.GetCVec(len(z))
 	for i, v := range z {
 		tmp[i] = -v
 	}
 	sys.G3.MulVecC(rhs, tmp)
+	mat.PutCVec(tmp)
 	f, err := r.shiftedCLU(s)
 	if err != nil {
 		return nil, err

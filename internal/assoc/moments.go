@@ -6,17 +6,29 @@ import (
 	"avtmor/internal/arnoldi"
 	"avtmor/internal/kron"
 	"avtmor/internal/mat"
+	"avtmor/internal/solver"
 )
 
 // Moment-space generation for the proposed NMOR scheme (§2.3): one Krylov
 // subspace per Volterra order, all in the single associated variable s.
 // Every vector returned lives in the original n-dimensional state space.
+//
+// All chains that share a shift are pushed through the factorization in
+// blocks (SolveBatch): the H1 chains of every input advance in
+// lockstep, the H3 moment table sweeps all its diagonals at once, and
+// the block-Arnoldi frontier of H2 applies the shifted operator to its
+// whole frontier per step. Batching is a pure traversal amortization —
+// per-column arithmetic is identical to the vector-granular path, so
+// the generated candidates (and therefore the ROM) are bit-exact
+// regardless of the configured block size.
 
 // H1Moments returns the k1 shift-inverted Krylov vectors
 // {M⁻¹b, …, M^{−k1}b} per input, M = G1 − s0·I (iterates are normalized;
 // spans are unchanged). The back-solves run through the solver-backed
 // factorization cache, so the one factor of M — dense or sparse LU —
-// is shared with every other moment order and expansion point.
+// is shared with every other moment order and expansion point; the m
+// input chains advance together, one SolveBatch of m columns per
+// Krylov step.
 func (r *Realization) H1Moments(k1 int, s0 float64) ([][]float64, error) {
 	if k1 <= 0 {
 		return nil, nil
@@ -25,24 +37,68 @@ func (r *Realization) H1Moments(k1 int, s0 float64) ([][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	op := arnoldi.SolveOp{F: f}
-	var out [][]float64
-	for in := 0; in < r.Sys.Inputs(); in++ {
-		w := r.Sys.B.Col(in)
-		for k := 0; k < k1; k++ {
-			if err := r.ctx.Err(); err != nil {
-				return nil, err
-			}
-			next := make([]float64, len(w))
-			op.Apply(next, w)
+	m := r.Sys.Inputs()
+	// out stays input-major — out[in*k1+k] — matching the legacy chain
+	// ordering while the solves sweep step-major across inputs.
+	out := make([][]float64, m*k1)
+	cur := make([][]float64, m)
+	for in := 0; in < m; in++ {
+		cur[in] = r.Sys.B.Col(in)
+	}
+	batch := make([][]float64, m)
+	for k := 0; k < k1; k++ {
+		if err := r.ctx.Err(); err != nil {
+			return nil, err
+		}
+		for in := 0; in < m; in++ {
+			batch[in] = mat.CopyVec(cur[in])
+		}
+		r.solveBatch(f, batch)
+		for in := 0; in < m; in++ {
+			next := batch[in]
 			if n2 := mat.Norm2(next); n2 > 0 {
 				mat.ScaleVec(1/n2, next)
 			}
-			out = append(out, next)
-			w = next
+			out[in*k1+k] = next
+			cur[in] = next
 		}
 	}
 	return out, nil
+}
+
+// gt2Op adapts the block-triangular G̃2 solver to the Arnoldi operator
+// interfaces; ApplyBatch pushes a whole frontier through one
+// SolveShiftedBatch (one batched top-block substitution per step).
+type gt2Op struct {
+	g   *Gt2
+	s0  float64
+	err *error
+}
+
+func (o gt2Op) Dim() int { return o.g.Dim() }
+
+func (o gt2Op) Apply(dst, src []float64) {
+	w, err := o.g.SolveShifted(o.s0, src)
+	if err != nil {
+		*o.err = err
+		mat.Zero(dst)
+		return
+	}
+	copy(dst, w)
+}
+
+func (o gt2Op) ApplyBatch(dst, src [][]float64) {
+	ws, err := o.g.SolveShiftedBatch(o.s0, src)
+	if err != nil {
+		*o.err = err
+		for _, d := range dst {
+			mat.Zero(d)
+		}
+		return
+	}
+	for i := range dst {
+		copy(dst[i], ws[i])
+	}
 }
 
 // H2Candidates runs k2 steps of block Arnoldi on (G̃2 − s0·I)⁻¹ in the
@@ -50,7 +106,8 @@ func (r *Realization) H1Moments(k1 int, s0 float64) ([][]float64, error) {
 // every unordered input pair, and returns the top-n blocks of the
 // orthonormal iterates. Those blocks span the state-moment space of
 // A2(H2)(s) about s0 (the orthonormalization is a triangular change of
-// basis, which the block extraction commutes with).
+// basis, which the block extraction commutes with). The start block and
+// every Arnoldi frontier go through the batched shifted solve.
 func (r *Realization) H2Candidates(k2 int, s0 float64) ([][]float64, error) {
 	if k2 <= 0 {
 		return nil, nil
@@ -60,34 +117,25 @@ func (r *Realization) H2Candidates(k2 int, s0 float64) ([][]float64, error) {
 		return nil, nil // H2 ≡ 0
 	}
 	n := sys.N
-	var start [][]float64
-	var solveErr error
+	var seeds [][]float64
 	for i := 0; i < sys.Inputs(); i++ {
 		for j := i; j < sys.Inputs(); j++ {
 			bt := r.Btilde2(i, j)
 			if mat.Norm2(bt) == 0 {
 				continue
 			}
-			w, err := r.gt2.SolveShifted(s0, bt)
-			if err != nil {
-				return nil, err
-			}
-			start = append(start, w)
+			seeds = append(seeds, bt)
 		}
 	}
-	if len(start) == 0 {
+	if len(seeds) == 0 {
 		return nil, nil
 	}
-	op := arnoldi.FuncOp{N: r.gt2.Dim(), F: func(dst, src []float64) {
-		w, err := r.gt2.SolveShifted(s0, src)
-		if err != nil {
-			solveErr = err
-			mat.Zero(dst)
-			return
-		}
-		copy(dst, w)
-	}}
-	res := arnoldi.Krylov(op, start, k2, 0)
+	start, err := r.gt2.SolveShiftedBatch(s0, seeds)
+	if err != nil {
+		return nil, err
+	}
+	var solveErr error
+	res := arnoldi.Krylov(gt2Op{g: r.gt2, s0: s0, err: &solveErr}, start, k2, 0)
 	if solveErr != nil {
 		return nil, solveErr
 	}
@@ -104,6 +152,48 @@ func (r *Realization) H2Candidates(k2 int, s0 float64) ([][]float64, error) {
 		}
 	}
 	return out, nil
+}
+
+// solveMomentTable computes table[j][i] = M^{−(i+1)}·ws[j] for i+j < k3
+// plus (when d2 != nil) dpow[i] = M^{−(i+1)}·d2 — the triangular solve
+// table of the H3 moment assembly. The independent chains advance in
+// lockstep: sweep i applies M⁻¹ to every still-active chain through one
+// batched substitution, with values bit-identical to per-chain loops.
+func (r *Realization) solveMomentTable(f solver.Factorization, ws [][]float64, d2 []float64, k3 int) (table [][][]float64, dpow [][]float64, err error) {
+	table = make([][][]float64, len(ws))
+	cols := make([][]float64, 0, len(ws)+1)
+	for i := 0; i < k3; i++ {
+		if err := r.ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		cols = cols[:0]
+		for j := range ws {
+			if i+j >= k3 {
+				continue
+			}
+			src := ws[j]
+			if i > 0 {
+				src = table[j][i-1]
+			}
+			next := mat.CopyVec(src)
+			table[j] = append(table[j], next)
+			cols = append(cols, next)
+		}
+		if d2 != nil {
+			src := d2
+			if i > 0 {
+				src = dpow[i-1]
+			}
+			next := mat.CopyVec(src)
+			dpow = append(dpow, next)
+			cols = append(cols, next)
+		}
+		if len(cols) == 0 {
+			break
+		}
+		r.solveBatch(f, cols)
+	}
+	return table, dpow, nil
 }
 
 // H3Moments returns the exact state-moment vectors m_0 … m_{k3−1} of
@@ -168,35 +258,18 @@ func (r *Realization) H3Moments(k3 int, s0 float64) ([][]float64, error) {
 	var d2 []float64
 	if sys.D1 != nil && sys.D1[0] != nil {
 		b := sys.B.Col(0)
-		d1b := make([]float64, n)
+		d1b := mat.GetVec(n)
 		sys.D1[0].MulVec(d1b, b)
 		d2 = make([]float64, n)
 		sys.D1[0].MulVec(d2, d1b)
+		mat.PutVec(d1b)
 	}
-	// Table c[j][i] = M^{−(i+1)}·w_j.
-	table := make([][][]float64, len(ws))
-	for j := range ws {
-		if err := r.ctx.Err(); err != nil {
-			return nil, err
-		}
-		cur := ws[j]
-		for i := 0; i+j < k3; i++ {
-			next := make([]float64, n)
-			f.Solve(next, cur)
-			table[j] = append(table[j], next)
-			cur = next
-		}
-	}
-	// d-term powers M^{−(k+1)}·d2.
-	var dpow [][]float64
-	if d2 != nil {
-		cur := d2
-		for k := 0; k < k3; k++ {
-			next := make([]float64, n)
-			f.Solve(next, cur)
-			dpow = append(dpow, next)
-			cur = next
-		}
+	// Table c[j][i] = M^{−(i+1)}·w_j and the d-term powers
+	// M^{−(k+1)}·d2, all chains advancing together one batched solve
+	// per sweep.
+	table, dpow, err := r.solveMomentTable(f, ws, d2, k3)
+	if err != nil {
+		return nil, err
 	}
 	out := make([][]float64, 0, k3)
 	for k := 0; k < k3; k++ {
@@ -250,15 +323,9 @@ func (r *Realization) H3MomentsCubic(s3 *kron.SumSolver3, k3 int, s0 float64) ([
 		sys.G3.MulVec(w, z)
 		ws = append(ws, w)
 	}
-	table := make([][][]float64, len(ws))
-	for j := range ws {
-		cur := ws[j]
-		for i := 0; i+j < k3; i++ {
-			next := make([]float64, n)
-			f.Solve(next, cur)
-			table[j] = append(table[j], next)
-			cur = next
-		}
+	table, _, err := r.solveMomentTable(f, ws, nil, k3)
+	if err != nil {
+		return nil, err
 	}
 	out := make([][]float64, 0, k3)
 	for k := 0; k < k3; k++ {

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/metrics"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,14 @@ type Options struct {
 	// ordering — and therefore the ROM — is identical to the serial
 	// path; only wall-clock changes.
 	Parallel bool
+	// BlockSize caps how many right-hand sides the moment generators
+	// group into one SolveBatch call: 0 (the default) batches every
+	// column that shares a shifted factorization, 1 forces the
+	// vector-granular legacy path, k > 1 caps blocks at k columns.
+	// SolveBatch is arithmetic-identical per column to looped Solve, so
+	// the ROM is bit-exact for every setting — only memory locality and
+	// allocation behavior move (see Stats.BatchSolves/Allocs).
+	BlockSize int
 	// Progress, when non-nil, receives coarse build events: one per
 	// completed moment-generator task plus the orthonormalize/project
 	// tail. With Parallel it may be called from multiple goroutines
@@ -119,6 +128,28 @@ type Stats struct {
 	// amortization made observable.
 	Factorizations int64
 	SolveCacheHits int64
+	// BatchSolves counts the SolveBatch calls issued against the cached
+	// shifted factorizations and BatchColumns the right-hand-side
+	// columns they carried; BatchColumns/BatchSolves is the realized
+	// multi-RHS width of the block solve path.
+	BatchSolves  int64
+	BatchColumns int64
+	// Allocs is the approximate heap-allocation count of the build
+	// (process-wide /gc/heap/allocs:objects delta, so concurrent
+	// activity in the same process inflates it): the zero-allocation
+	// workspace discipline of the chain iterations made observable.
+	Allocs uint64
+}
+
+// heapAllocs reads the process's cumulative heap allocation count via
+// runtime/metrics (cheap — no stop-the-world).
+func heapAllocs() uint64 {
+	sample := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindUint64 {
+		return sample[0].Value.Uint64()
+	}
+	return 0
 }
 
 // Order returns the reduced dimension q.
@@ -140,6 +171,7 @@ func Reduce(sys *qldae.System, opt Options) (*ROM, error) {
 // reduction returns within one Krylov step's worth of work.
 func ReduceContext(ctx context.Context, sys *qldae.System, opt Options) (*ROM, error) {
 	start := time.Now()
+	allocs0 := heapAllocs()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -150,6 +182,7 @@ func ReduceContext(ctx context.Context, sys *qldae.System, opt Options) (*ROM, e
 	if err != nil {
 		return nil, err
 	}
+	r.SetBlockSize(opt.BlockSize)
 	points := append([]float64{opt.S0}, opt.ExtraPoints...)
 	// Independent generator tasks, gathered in deterministic order.
 	type genOut struct {
@@ -263,6 +296,7 @@ func ReduceContext(ctx context.Context, sys *qldae.System, opt Options) (*ROM, e
 		return nil, err
 	}
 	rom.fillSolverStats(r.SolverBackend(), r.SolverStats())
+	rom.Stats.Allocs = heapAllocs() - allocs0
 	return rom, nil
 }
 
@@ -273,6 +307,8 @@ func (r *ROM) fillSolverStats(backend string, cs solver.CacheStats) {
 	r.Stats.Backend = backend
 	r.Stats.Factorizations = cs.Factorizations
 	r.Stats.SolveCacheHits = cs.Hits
+	r.Stats.BatchSolves = cs.BatchSolves
+	r.Stats.BatchColumns = cs.BatchColumns
 }
 
 // finish orthonormalizes the candidate set and projects. ctx is

@@ -38,6 +38,7 @@ func ReduceNORM(sys *qldae.System, opt Options) (*ROM, error) {
 // bounds NORM's O(k2³)/O(k3⁴) blow-up when the caller gives up.
 func ReduceNORMContext(ctx context.Context, sys *qldae.System, opt Options) (*ROM, error) {
 	start := time.Now()
+	allocs0 := heapAllocs()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -263,5 +264,6 @@ func ReduceNORMContext(ctx context.Context, sys *qldae.System, opt Options) (*RO
 		return nil, err
 	}
 	rom.fillSolverStats(sc.BackendName(), sc.Stats())
+	rom.Stats.Allocs = heapAllocs() - allocs0
 	return rom, nil
 }

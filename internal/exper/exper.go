@@ -56,8 +56,15 @@ func simulate(w *avtmor.Workload, m avtmor.Model) (*avtmor.Result, time.Duration
 func (r *Report) solverMetrics(prefix string, st avtmor.Stats) string {
 	r.metric(prefix+"_factorizations", float64(st.Factorizations))
 	r.metric(prefix+"_cache_hits", float64(st.SolveCacheHits))
-	return fmt.Sprintf("solver %s, %d factorizations, %d cache hits",
-		st.Backend, st.Factorizations, st.SolveCacheHits)
+	r.metric(prefix+"_batch_solves", float64(st.BatchSolves))
+	r.metric(prefix+"_batch_columns", float64(st.BatchColumns))
+	r.metric(prefix+"_allocs", float64(st.Allocs))
+	width := 0.0
+	if st.BatchSolves > 0 {
+		width = float64(st.BatchColumns) / float64(st.BatchSolves)
+	}
+	return fmt.Sprintf("solver %s, %d factorizations, %d cache hits, %d batch solves (avg width %.1f), ~%d allocs",
+		st.Backend, st.Factorizations, st.SolveCacheHits, st.BatchSolves, width, st.Allocs)
 }
 
 // transientCompare reduces the workload with the given methods, simulates

@@ -7,6 +7,7 @@
 package lu
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -70,12 +71,15 @@ func Factor(a *mat.Dense) (*LU, error) {
 func (f *LU) N() int { return f.lu.R }
 
 // Solve computes x with A x = b, writing into dst (dst may alias b).
+// The permuted working copy comes from the shared workspace pool, so
+// steady-state chain iterations solve without allocating.
 func (f *LU) Solve(dst, b []float64) {
 	n := f.N()
 	if len(b) != n || len(dst) != n {
 		panic("lu: Solve length mismatch")
 	}
-	x := make([]float64, n)
+	x := mat.GetVec(n)
+	defer mat.PutVec(x)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -99,18 +103,103 @@ func (f *LU) Solve(dst, b []float64) {
 	copy(dst, x)
 }
 
-// SolveMat solves A X = B column by column.
+// SolveBatch solves A·x = cols[c] for every column of the batch, in
+// place: each cols[c] is read as a right-hand side and overwritten with
+// its solution. The substitution sweeps the triangular factors once per
+// batch with a column-major inner loop over the right-hand sides, so
+// every factor row is fetched once for the whole batch instead of once
+// per column; per-column arithmetic is identical (same operations, same
+// order) to a loop of Solve calls, so results are bit-exact either way.
+// Columns must not alias one another.
+func (f *LU) SolveBatch(cols [][]float64) {
+	_ = f.solveBatch(nil, cols)
+}
+
+// SolveBatchCtx is SolveBatch with cooperative cancellation: ctx is
+// polled between row sweeps (every batchCtxStride rows). On abort the
+// columns are left untouched — solutions only scatter back once the
+// whole batch completes.
+func (f *LU) SolveBatchCtx(ctx context.Context, cols [][]float64) error {
+	return f.solveBatch(ctx, cols)
+}
+
+// batchCtxStride is the row cadence of ctx polls inside a batched
+// substitution — coarse enough to vanish from the profile, fine enough
+// that a canceled large solve aborts in a few thousand row updates.
+const batchCtxStride = 512
+
+func (f *LU) solveBatch(ctx context.Context, cols [][]float64) error {
+	n := f.N()
+	k := len(cols)
+	if k == 0 {
+		return nil
+	}
+	for _, c := range cols {
+		if len(c) != n {
+			panic("lu: SolveBatch length mismatch")
+		}
+	}
+	// Contiguous k×n scratch: column c lives at [c*n, (c+1)*n).
+	x := mat.GetVec(k * n)
+	defer mat.PutVec(x)
+	for c, col := range cols {
+		xc := x[c*n : (c+1)*n]
+		for i := 0; i < n; i++ {
+			xc[i] = col[f.piv[i]]
+		}
+	}
+	w := f.lu
+	for i := 1; i < n; i++ {
+		if ctx != nil && i%batchCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		row := w.Row(i)
+		for c := 0; c < k; c++ {
+			xc := x[c*n : c*n+n]
+			s := xc[i]
+			for j := 0; j < i; j++ {
+				s -= row[j] * xc[j]
+			}
+			xc[i] = s
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		if ctx != nil && i%batchCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		row := w.Row(i)
+		for c := 0; c < k; c++ {
+			xc := x[c*n : c*n+n]
+			s := xc[i]
+			for j := i + 1; j < n; j++ {
+				s -= row[j] * xc[j]
+			}
+			xc[i] = s / row[i]
+		}
+	}
+	for c, col := range cols {
+		copy(col, x[c*n:(c+1)*n])
+	}
+	return nil
+}
+
+// SolveMat solves A X = B through one batched substitution over all
+// columns (one factor traversal for the whole right-hand-side block).
 func (f *LU) SolveMat(b *mat.Dense) *mat.Dense {
 	if b.R != f.N() {
 		panic("lu: SolveMat shape mismatch")
 	}
 	x := mat.NewDense(b.R, b.C)
-	col := make([]float64, b.R)
+	cols := make([][]float64, b.C)
 	for j := 0; j < b.C; j++ {
-		for i := 0; i < b.R; i++ {
-			col[i] = b.At(i, j)
-		}
-		f.Solve(col, col)
+		cols[j] = b.Col(j)
+	}
+	f.SolveBatch(cols)
+	for j, col := range cols {
 		x.SetCol(j, col)
 	}
 	return x

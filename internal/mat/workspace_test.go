@@ -1,0 +1,65 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWorkspaceReuse(t *testing.T) {
+	var w Workspace
+	a := w.Get(64)
+	if len(a) != 64 {
+		t.Fatalf("Get(64) returned length %d", len(a))
+	}
+	for i := range a {
+		a[i] = float64(i)
+	}
+	w.Put(a)
+	b := w.Get(32) // smaller request may reuse the same backing array
+	if len(b) != 32 {
+		t.Fatalf("Get(32) returned length %d", len(b))
+	}
+	w.Put(b)
+	// A too-large request after a small pooled buffer must still work.
+	c := w.Get(128)
+	if len(c) != 128 {
+		t.Fatalf("Get(128) returned length %d", len(c))
+	}
+	w.Put(c)
+	// Zero-capacity put is a no-op, not a poison pill.
+	w.Put(nil)
+	if d := w.Get(8); len(d) != 8 {
+		t.Fatal("pool poisoned by nil Put")
+	}
+}
+
+func TestMulBatchToMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	m := RandDense(rng, 23, 17)
+	const k = 5
+	xs := make([][]float64, k)
+	dst := make([][]float64, k)
+	want := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		xs[c] = RandVec(rng, 17)
+		dst[c] = make([]float64, 23)
+		want[c] = make([]float64, 23)
+		m.MulVec(want[c], xs[c])
+	}
+	m.MulBatchTo(dst, xs)
+	for c := 0; c < k; c++ {
+		for i := range dst[c] {
+			if dst[c][i] != want[c][i] {
+				t.Fatalf("col %d row %d: batch %v, MulVec %v", c, i, dst[c][i], want[c][i])
+			}
+		}
+	}
+	// MulVecTo is MulVec by another name.
+	one := make([]float64, 23)
+	m.MulVecTo(one, xs[0])
+	for i := range one {
+		if one[i] != want[0][i] {
+			t.Fatal("MulVecTo diverged from MulVec")
+		}
+	}
+}

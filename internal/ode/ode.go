@@ -20,6 +20,29 @@ import (
 // Input is a scalar-per-channel input signal u(t).
 type Input func(t float64) []float64
 
+// workspace is the per-integrator scratch set: the stage, residual, and
+// Newton vectors every step reuses, borrowed from the shared pool for
+// the lifetime of one integration and returned on exit. Combined with
+// the allocation-free System.Eval and the pooled solver substitutions,
+// it keeps the inner stepping loops of all three integrators from
+// allocating per step.
+type workspace struct{ bufs [][]float64 }
+
+// vec borrows a length-n scratch vector for the integration.
+func (w *workspace) vec(n int) []float64 {
+	b := mat.GetVec(n)
+	w.bufs = append(w.bufs, b)
+	return b
+}
+
+// release returns every borrowed vector to the pool.
+func (w *workspace) release() {
+	for _, b := range w.bufs {
+		mat.PutVec(b)
+	}
+	w.bufs = nil
+}
+
 // Const wraps a constant input vector.
 func Const(u []float64) Input {
 	return func(float64) []float64 { return u }
@@ -73,11 +96,13 @@ func RK4Ctx(ctx context.Context, sys *qldae.System, x0 []float64, u Input, tEnd 
 	res := &Result{}
 	res.T = append(res.T, 0)
 	res.Y = append(res.Y, sys.Output(x))
-	k1 := make([]float64, n)
-	k2 := make([]float64, n)
-	k3 := make([]float64, n)
-	k4 := make([]float64, n)
-	xs := make([]float64, n)
+	ws := &workspace{}
+	defer ws.release()
+	k1 := ws.vec(n)
+	k2 := ws.vec(n)
+	k3 := ws.vec(n)
+	k4 := ws.vec(n)
+	xs := ws.vec(n)
 	for s := 0; s < nSteps; s++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -139,11 +164,13 @@ func Dopri5Ctx(ctx context.Context, sys *qldae.System, x0 []float64, u Input, tE
 	res := &Result{}
 	res.T = append(res.T, 0)
 	res.Y = append(res.Y, sys.Output(x))
+	ws := &workspace{}
+	defer ws.release()
 	k := make([][]float64, 7)
 	for i := range k {
-		k[i] = make([]float64, n)
+		k[i] = ws.vec(n)
 	}
-	xs := make([]float64, n)
+	xs := ws.vec(n)
 	t := 0.0
 	h := tEnd / 100
 	hMin := tEnd * 1e-12
@@ -269,9 +296,16 @@ func TrapezoidalSolverCtx(ctx context.Context, sys *qldae.System, x0 []float64, 
 	res := &Result{}
 	res.T = append(res.T, 0)
 	res.Y = append(res.Y, sys.Output(x))
-	f0 := make([]float64, n)
-	f1 := make([]float64, n)
-	g := make([]float64, n)
+	ws := &workspace{}
+	defer ws.release()
+	f0 := ws.vec(n)
+	f1 := ws.vec(n)
+	g := ws.vec(n)
+	// The Newton correction solves through the factorization's batch
+	// path with a persistent one-column block (g solved in place), so a
+	// stiff run's thousands of Newton iterations share one workspace
+	// instead of allocating per solve.
+	newton := [][]float64{g}
 	const maxNewton = 25
 	for s := 0; s < nSteps; s++ {
 		if err := ctx.Err(); err != nil {
@@ -309,7 +343,7 @@ func TrapezoidalSolverCtx(ctx context.Context, sys *qldae.System, x0 []float64, 
 					return nil, fmt.Errorf("ode: Newton Jacobian singular at t=%g: %w", t, err)
 				}
 			}
-			fac.Solve(g, g)
+			fac.SolveBatch(newton)
 			mat.Axpy(-1, g, xn)
 			if mat.NormInf(g) <= 1e-10*scale {
 				converged = true

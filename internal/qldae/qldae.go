@@ -13,6 +13,7 @@ import (
 
 	"avtmor/internal/lu"
 	"avtmor/internal/mat"
+	"avtmor/internal/solver"
 	"avtmor/internal/sparse"
 )
 
@@ -108,8 +109,17 @@ func Regularize(c *mat.Dense, s *System) (*System, error) {
 	return out, nil
 }
 
-// solveCSR computes C⁻¹·M for a sparse M, returning a sparse result
-// (column-by-column dense solves over the nonzero columns only).
+// solveCSRBatch caps how many nonzero columns one batched substitution
+// carries during Regularize: wide enough to amortize the factor
+// traversal, narrow enough that the k·n scratch of a G3 regularization
+// (n³ columns in the worst case) stays modest.
+const solveCSRBatch = 32
+
+// solveCSR computes C⁻¹·M for a sparse M, returning a sparse result.
+// Only the nonzero columns are solved, grouped solveCSRBatch at a time
+// through the dense LU's block substitution — each per-column solution
+// is bit-identical to a scalar solve, so the grouping is invisible in
+// the output.
 func solveCSR(f *lu.LU, m *sparse.CSR) *sparse.CSR {
 	n := f.N()
 	// Group nonzeros by column.
@@ -121,19 +131,37 @@ func solveCSR(f *lu.LU, m *sparse.CSR) *sparse.CSR {
 		}
 	}
 	b := sparse.NewBuilder(m.Rows, m.Cols)
-	col := make([]float64, n)
+	batch := make([][]float64, 0, solveCSRBatch)
+	colIDs := make([]int, 0, solveCSRBatch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		f.SolveBatch(batch)
+		for bi, col := range batch {
+			for i, v := range col {
+				if v != 0 {
+					b.Add(i, colIDs[bi], v)
+				}
+			}
+			mat.PutVec(col)
+		}
+		batch = batch[:0]
+		colIDs = colIDs[:0]
+	}
 	for c, es := range colEntries {
+		col := mat.GetVec(n)
 		mat.Zero(col)
 		for _, e := range es {
 			col[e.Row] += e.Val
 		}
-		f.Solve(col, col)
-		for i, v := range col {
-			if v != 0 {
-				b.Add(i, c, v)
-			}
+		batch = append(batch, col)
+		colIDs = append(colIDs, c)
+		if len(batch) == solveCSRBatch {
+			flush()
 		}
 	}
+	flush()
 	return b.Build()
 }
 
@@ -141,13 +169,15 @@ func solveCSR(f *lu.LU, m *sparse.CSR) *sparse.CSR {
 // (CSR preferred when the dense form is absent).
 func (s *System) MulG1(dst, x []float64) {
 	if s.G1 != nil {
-		s.G1.MulVec(dst, x)
+		s.G1.MulVecTo(dst, x)
 		return
 	}
-	s.G1S.MulVec(dst, x)
+	s.G1S.MulVecTo(dst, x)
 }
 
-// Eval computes dst = RHS(x, u).
+// Eval computes dst = RHS(x, u). Scratch comes from the shared
+// workspace pool, so the per-stage integrator loops (four Evals per RK4
+// step, one per Newton iteration) evaluate allocation-free.
 func (s *System) Eval(dst, x, u []float64) {
 	if len(x) != s.N || len(dst) != s.N || len(u) != s.Inputs() {
 		panic("qldae: Eval length mismatch")
@@ -157,17 +187,24 @@ func (s *System) Eval(dst, x, u []float64) {
 		s.G2.QuadAddApply(dst, 1, x, x)
 	}
 	if s.G3 != nil {
-		cube := make([]float64, s.N)
+		cube := mat.GetVec(s.N)
 		s.G3.CubeApply(cube, x)
 		mat.Axpy(1, cube, dst)
+		mat.PutVec(cube)
 	}
-	tmp := make([]float64, s.N)
+	var tmp []float64
 	for i, d := range s.D1 {
 		if d == nil || u[i] == 0 {
 			continue
 		}
+		if tmp == nil {
+			tmp = mat.GetVec(s.N)
+		}
 		d.MulVec(tmp, x)
 		mat.Axpy(u[i], tmp, dst)
+	}
+	if tmp != nil {
+		mat.PutVec(tmp)
 	}
 	for i := 0; i < s.Inputs(); i++ {
 		if u[i] == 0 {
@@ -253,6 +290,14 @@ func (s *System) Output(x []float64) []float64 {
 	return y
 }
 
+// projectSparseCutoff is the state dimension beyond which Project
+// routes the G1 congruence through the CSR mirror when one exists. It
+// is the solver layer's dense routing cutoff, referenced (not copied)
+// so retuning the routing policy keeps projection and factorization on
+// the same side and small systems keep their dense-path numerics bit
+// for bit.
+const projectSparseCutoff = solver.AutoDenseCutoff
+
 // Project performs the Galerkin reduction x ≈ V·x̂ with column-orthonormal
 // V ∈ R^{n×q}: Ĝ1 = VᵀG1V, Ĝ2 = VᵀG2(V⊗V), Ĝ3 = VᵀG3(V⊗V⊗V),
 // D̂1 = VᵀD1V, B̂ = VᵀB, L̂ = LV.
@@ -263,10 +308,13 @@ func (s *System) Project(v *mat.Dense) *System {
 	q := v.C
 	vt := v.T()
 	out := &System{N: q}
-	if s.G1 != nil {
+	if s.G1 != nil && (s.G1S == nil || s.N < projectSparseCutoff) {
 		out.G1 = vt.Mul(s.G1).Mul(v)
 	} else {
-		// Vᵀ·(G1S·V): O(nnz·q) instead of O(n²·q).
+		// Vᵀ·(G1S·V): O(nnz·q) instead of O(n²·q). Large mirrored
+		// systems take this route too — the dense Vᵀ·G1 pass is the
+		// single biggest flop block of a big-circuit reduction, and the
+		// CSR mirror holds the same entries.
 		out.G1 = vt.Mul(s.G1S.MulDense(v))
 	}
 	out.B = vt.Mul(s.B)

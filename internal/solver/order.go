@@ -1,8 +1,6 @@
 package solver
 
 import (
-	"sort"
-
 	"avtmor/internal/sparse"
 )
 
@@ -11,51 +9,95 @@ import (
 // along the physical topology, and RCM recovers that numbering for
 // arbitrary input orderings, keeping the LU fill of ladder/grid
 // structures close to the O(band·n) minimum.
+//
+// The adjacency is held flat (CSR-style offsets into one index slab)
+// and the per-node degree sorts are in-place insertion sorts, so the
+// whole preorder costs a handful of allocations regardless of n — it
+// runs inside every sparse factor step, which the batch solve path
+// wants allocation-lean.
 
 // rcmOrder returns a permutation p such that factoring columns in the
 // order p[0], p[1], … keeps the profile of A[p, p] small.
 func rcmOrder(a *sparse.CSR) []int {
 	n := a.Rows
-	// Adjacency of A + Aᵀ without the diagonal.
-	adj := make([][]int, n)
+	// Pass 1: count the directed endpoints of A + Aᵀ minus the diagonal
+	// (duplicates included; they are deduped in place below).
+	ptr := make([]int, n+1)
+	for r := 0; r < n; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			if c := a.ColIdx[k]; c != r {
+				ptr[r+1]++
+				ptr[c+1]++
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		ptr[u+1] += ptr[u]
+	}
+	// Pass 2: scatter neighbors in the same row-scan order the edge
+	// list used to be built in. (Adjacency construction order is
+	// preserved exactly; the degree sort below is a stable insertion
+	// sort, so equal-degree tie-breaking — and with it the permutation
+	// on tie-heavy graphs — may differ from the earlier unstable
+	// sort.Slice. Both are valid RCM orders; nothing in the repo
+	// depends on the old byte-level choice.)
+	flat := make([]int32, ptr[n])
+	next := make([]int, n)
+	copy(next, ptr[:n])
+	for r := 0; r < n; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			if c := a.ColIdx[k]; c != r {
+				flat[next[r]] = int32(c)
+				next[r]++
+				flat[next[c]] = int32(r)
+				next[c]++
+			}
+		}
+	}
+	// Dedup each neighbor list in place (first occurrence wins), then
+	// record degrees. end[u] is the deduped list's upper bound.
+	end := make([]int, n)
 	seen := make([]int, n)
 	for i := range seen {
 		seen[i] = -1
 	}
-	addEdge := func(u, v int) {
-		if u == v {
-			return
-		}
-		adj[u] = append(adj[u], v)
-	}
-	for r := 0; r < n; r++ {
-		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-			c := a.ColIdx[k]
-			addEdge(r, c)
-			addEdge(c, r)
-		}
-	}
-	for u := range adj {
-		// Dedup neighbor lists, then order by degree for the CM visit.
-		list := adj[u][:0]
-		for _, v := range adj[u] {
+	deg := make([]int, n)
+	for u := 0; u < n; u++ {
+		w := ptr[u]
+		for k := ptr[u]; k < next[u]; k++ {
+			v := int(flat[k])
 			if seen[v] != u {
 				seen[v] = u
-				list = append(list, v)
+				flat[w] = int32(v)
+				w++
 			}
 		}
-		adj[u] = list
+		end[u] = w
+		deg[u] = w - ptr[u]
 	}
-	deg := make([]int, n)
-	for u := range adj {
-		deg[u] = len(adj[u])
-	}
-	for u := range adj {
-		sort.Slice(adj[u], func(i, j int) bool { return deg[adj[u][i]] < deg[adj[u][j]] })
+	// Order each list by neighbor degree (stable insertion sort — the
+	// lists are a few entries for circuit matrices).
+	for u := 0; u < n; u++ {
+		list := flat[ptr[u]:end[u]]
+		for i := 1; i < len(list); i++ {
+			v := list[i]
+			j := i - 1
+			for j >= 0 && deg[list[j]] > deg[v] {
+				list[j+1] = list[j]
+				j--
+			}
+			list[j+1] = v
+		}
 	}
 	order := make([]int, 0, n)
 	placed := make([]bool, n)
 	queue := make([]int, 0, n)
+	dist := make([]int32, n) // pseudoPeripheral scratch, stamped by visit
+	visit := make([]int, n)
+	for i := range visit {
+		visit[i] = -1
+	}
+	visitID := 0
 	for {
 		// Start the next component at a minimum-degree unplaced node,
 		// pushed toward the periphery by one extra BFS.
@@ -68,15 +110,15 @@ func rcmOrder(a *sparse.CSR) []int {
 		if start < 0 {
 			break
 		}
-		start = pseudoPeripheral(adj, deg, placed, start)
+		start = pseudoPeripheral(flat, ptr, end, deg, placed, start, dist, visit, &visitID)
 		queue = append(queue[:0], start)
 		placed[start] = true
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
 			order = append(order, u)
-			for _, v := range adj[u] {
-				if !placed[v] {
+			for k := ptr[u]; k < end[u]; k++ {
+				if v := int(flat[k]); !placed[v] {
 					placed[v] = true
 					queue = append(queue, v)
 				}
@@ -92,37 +134,38 @@ func rcmOrder(a *sparse.CSR) []int {
 
 // pseudoPeripheral walks to an approximate end of the component: the
 // lowest-degree node of the last BFS level, iterated until the
-// eccentricity stops growing.
-func pseudoPeripheral(adj [][]int, deg []int, placed []bool, start int) int {
-	dist := make(map[int]int)
+// eccentricity stops growing. dist/visit are caller-owned scratch
+// (stamp-cleared per BFS, never reallocated).
+func pseudoPeripheral(flat []int32, ptr, end, deg []int, placed []bool, start int, dist []int32, visit []int, visitID *int) int {
 	best, bestEcc := start, -1
+	queue := make([]int, 0, 64)
 	for iter := 0; iter < 4; iter++ {
-		for k := range dist {
-			delete(dist, k)
-		}
+		*visitID++
+		id := *visitID
+		visit[best] = id
 		dist[best] = 0
-		queue := []int{best}
-		last, ecc := best, 0
+		queue = append(queue[:0], best)
+		last, ecc := best, int32(0)
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range adj[u] {
-				if placed[v] {
+			for k := ptr[u]; k < end[u]; k++ {
+				v := int(flat[k])
+				if placed[v] || visit[v] == id {
 					continue
 				}
-				if _, ok := dist[v]; !ok {
-					dist[v] = dist[u] + 1
-					queue = append(queue, v)
-					if dist[v] > ecc || (dist[v] == ecc && deg[v] < deg[last]) {
-						ecc, last = dist[v], v
-					}
+				visit[v] = id
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+				if dist[v] > ecc || (dist[v] == ecc && deg[v] < deg[last]) {
+					ecc, last = dist[v], v
 				}
 			}
 		}
-		if ecc <= bestEcc {
+		if int(ecc) <= bestEcc {
 			break
 		}
-		best, bestEcc = last, ecc
+		best, bestEcc = last, int(ecc)
 	}
 	return best
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"avtmor/internal/mat"
 	"avtmor/internal/sparse"
 )
 
@@ -14,32 +15,51 @@ import (
 // paper's "compute the LU of G1 for once" amortization, shared across
 // H1/H2/H3 moment generation and across multipoint expansion
 // frequencies. It is safe for concurrent use, and concurrent requests
-// for distinct shifts factor in parallel (only same-shift requests
-// block on one another).
+// for distinct shifts factor in parallel.
+//
+// Same-shift concurrency is a per-shift singleflight: the first
+// requester becomes the leader and factors; every concurrent request
+// for the same σ waits on the leader's outcome instead of factoring
+// again, so each shift pays exactly one factor step no matter how many
+// WithParallel workers race on it. A leader abandoned by its context
+// evicts its entry, and a live-context waiter then retries as the new
+// leader rather than inheriting the stale cancellation error.
 type ShiftedCache struct {
 	g, c *Matrix // c == nil means identity
 	ls   LinearSolver
 
 	factorizations atomic.Int64 // completed factor steps
 	hits           atomic.Int64 // Factor calls served from the cache
+	batchSolves    atomic.Int64 // SolveBatch calls on cached factorizations
+	batchColumns   atomic.Int64 // total RHS columns across those calls
 
 	mu      sync.Mutex
 	entries map[float64]*shiftEntry
 }
 
+// shiftEntry is one singleflight slot: done closes when the leader's
+// factor step resolves, after which f/err are immutable.
 type shiftEntry struct {
-	once sync.Once
+	done chan struct{}
 	f    Factorization
 	err  error
 }
 
 // CacheStats is the observable outcome of a ShiftedCache's lifetime:
-// how many pencils were actually factored and how many Factor calls
-// found a ready (or in-flight) entry instead. The layers above surface
-// these in core.Stats and the experiment reports.
+// how many pencils were actually factored, how many Factor calls found
+// a ready (or in-flight) entry instead, and how the block solve path
+// was used. The layers above surface these in core.Stats, the
+// experiment reports, and the serving tier's /metrics.
 type CacheStats struct {
 	Factorizations int64
 	Hits           int64
+	// BatchSolves counts SolveBatch/SolveBatchCtx calls issued against
+	// factorizations served by this cache; BatchColumns the total
+	// right-hand-side columns they carried. BatchColumns/BatchSolves is
+	// the realized batching width — the multi-RHS amortization made
+	// observable.
+	BatchSolves  int64
+	BatchColumns int64
 }
 
 // NewShiftedCache prepares a cache over G + σ·C for the given backend
@@ -72,9 +92,14 @@ func (sc *ShiftedCache) Scale() float64 { return sc.g.MaxAbs() }
 // N returns the pencil dimension.
 func (sc *ShiftedCache) N() int { return sc.g.N() }
 
-// Stats reports factorization and hit counters.
+// Stats reports factorization, hit, and batch-solve counters.
 func (sc *ShiftedCache) Stats() CacheStats {
-	return CacheStats{Factorizations: sc.factorizations.Load(), Hits: sc.hits.Load()}
+	return CacheStats{
+		Factorizations: sc.factorizations.Load(),
+		Hits:           sc.hits.Load(),
+		BatchSolves:    sc.batchSolves.Load(),
+		BatchColumns:   sc.batchColumns.Load(),
+	}
 }
 
 // Factor returns the cached factorization of G + σ·C, computing it on
@@ -84,34 +109,83 @@ func (sc *ShiftedCache) Factor(sigma float64) (Factorization, error) {
 }
 
 // FactorCtx is Factor with cooperative cancellation. A factorization
-// aborted by ctx is NOT cached: the entry is evicted so a later request
-// (with a live context) recomputes it instead of inheriting the stale
-// cancellation error. Waiters that coalesce onto an in-flight factor
-// step block until it resolves, sharing the leader's outcome.
+// aborted by ctx is NOT cached: the leader evicts its entry, so a later
+// (or concurrently waiting) request with a live context recomputes it
+// instead of inheriting the stale cancellation error.
 func (sc *ShiftedCache) FactorCtx(ctx context.Context, sigma float64) (Factorization, error) {
-	sc.mu.Lock()
-	e, ok := sc.entries[sigma]
-	if !ok {
-		e = &shiftEntry{}
-		sc.entries[sigma] = e
-	} else {
-		sc.hits.Add(1)
-	}
-	sc.mu.Unlock()
-	e.once.Do(func() {
-		e.f, e.err = sc.ls.FactorCtx(ctx, sc.shifted(sigma))
-		if e.err == nil {
-			sc.factorizations.Add(1)
-		}
-	})
-	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+	for {
 		sc.mu.Lock()
-		if sc.entries[sigma] == e {
-			delete(sc.entries, sigma)
+		e, ok := sc.entries[sigma]
+		if !ok {
+			// Leader: factor under no lock, publish, wake the waiters.
+			e = &shiftEntry{done: make(chan struct{})}
+			sc.entries[sigma] = e
+			sc.mu.Unlock()
+			f, err := sc.ls.FactorCtx(ctx, sc.shifted(sigma))
+			if err == nil {
+				sc.factorizations.Add(1)
+				// The counting wrapper is created once and cached, so
+				// repeat hits observe the identical Factorization value.
+				e.f = &countedFact{inner: f, sc: sc}
+			} else {
+				e.err = err
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					sc.mu.Lock()
+					if sc.entries[sigma] == e {
+						delete(sc.entries, sigma)
+					}
+					sc.mu.Unlock()
+				}
+			}
+			close(e.done)
+			return e.f, e.err
 		}
 		sc.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil &&
+				(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) &&
+				ctx.Err() == nil {
+				// The leader was canceled but this waiter is still live:
+				// loop and retry (the canceled leader evicted its entry,
+				// so the retry elects a new leader). Not a cache hit —
+				// the retry pays the factor step itself.
+				continue
+			}
+			// Only requests actually served by the entry count as hits
+			// (a waiter that aborts on its own context was served
+			// nothing, and a retrying waiter is counted on its retry).
+			sc.hits.Add(1)
+			return e.f, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	return e.f, e.err
+}
+
+// countedFact wraps a cached factorization so the cache can observe the
+// batch-solve traffic flowing through it. Solve semantics are forwarded
+// untouched; only counters move.
+type countedFact struct {
+	inner Factorization
+	sc    *ShiftedCache
+}
+
+func (c *countedFact) N() int                           { return c.inner.N() }
+func (c *countedFact) MinAbsPivot() float64             { return c.inner.MinAbsPivot() }
+func (c *countedFact) Solve(dst, b []float64)           { c.inner.Solve(dst, b) }
+func (c *countedFact) SolveMat(b *mat.Dense) *mat.Dense { return c.inner.SolveMat(b) }
+
+func (c *countedFact) SolveBatch(cols [][]float64) {
+	c.sc.batchSolves.Add(1)
+	c.sc.batchColumns.Add(int64(len(cols)))
+	c.inner.SolveBatch(cols)
+}
+
+func (c *countedFact) SolveBatchCtx(ctx context.Context, cols [][]float64) error {
+	c.sc.batchSolves.Add(1)
+	c.sc.batchColumns.Add(int64(len(cols)))
+	return c.inner.SolveBatchCtx(ctx, cols)
 }
 
 // shifted assembles G + σ·C in whichever representation the backend

@@ -29,13 +29,26 @@ import (
 var ErrSingular = errors.New("solver: matrix is singular")
 
 // Factorization is a ready-to-reuse triangular factorization of a square
-// matrix A: the factor step is paid once, back-solves are cheap.
+// matrix A: the factor step is paid once, back-solves are cheap. A
+// Factorization is safe for concurrent solves (scratch comes from a
+// shared pool, never from factorization state).
 type Factorization interface {
 	// N returns the matrix dimension.
 	N() int
 	// Solve computes x with A·x = b, writing into dst (dst may alias b).
 	Solve(dst, b []float64)
-	// SolveMat solves A·X = B column by column.
+	// SolveBatch solves A·x = cols[c] for every column of the batch, in
+	// place: each column is read as a right-hand side and overwritten
+	// with its solution. One traversal of the factor structure serves
+	// the whole batch (column-major inner loops), and per-column
+	// arithmetic is identical to a loop of Solve calls — results are
+	// bit-exact either way. Columns must not alias one another.
+	SolveBatch(cols [][]float64)
+	// SolveBatchCtx is SolveBatch with cooperative cancellation: ctx is
+	// polled along the substitution sweeps, and on abort the columns
+	// are left untouched (solutions scatter back only on completion).
+	SolveBatchCtx(ctx context.Context, cols [][]float64) error
+	// SolveMat solves A·X = B (one batched substitution).
 	SolveMat(b *mat.Dense) *mat.Dense
 	// MinAbsPivot returns the smallest |U_ii| — the cheap
 	// near-singularity witness the shifted-system callers check against

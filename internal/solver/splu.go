@@ -20,19 +20,25 @@ import (
 
 const defaultPivotTol = 0.1
 
-// spLU is the sparse Factorization.
+// spLU is the sparse Factorization. The triangular factors are stored
+// flat, CSC-style: column k of L occupies lidx/lval[lptr[k]:lptr[k+1]]
+// (original-row indices and multipliers, unit diagonal implicit) and
+// column k of U occupies uidx/uval[uptr[k]:uptr[k+1]] (earlier-step
+// indices and values, diagonal in d). Flat slabs instead of per-column
+// slices keep the factor build to O(log nnz) allocations — append-grown
+// in step order, each column finalized before the next begins — and
+// give the solves one contiguous metadata stream to traverse.
 type spLU struct {
 	n       int
 	colperm []int // factored column k ↔ original column colperm[k]
 	prow    []int // pivot (original) row of step k
-	// L columns per step: original-row indices and multipliers, unit
-	// diagonal implicit. U columns per step: earlier-step indices and
-	// values, diagonal in d.
-	lrow [][]int
-	lval [][]float64
-	urow [][]int
-	uval [][]float64
-	d    []float64
+	lptr    []int32
+	lidx    []int32
+	lval    []float64
+	uptr    []int32
+	uidx    []int32
+	uval    []float64
+	d       []float64
 }
 
 // ctxCheckStride is how many factored columns pass between ctx polls:
@@ -55,10 +61,12 @@ func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, err
 		n:       n,
 		colperm: rcmOrder(a),
 		prow:    make([]int, n),
-		lrow:    make([][]int, n),
-		lval:    make([][]float64, n),
-		urow:    make([][]int, n),
-		uval:    make([][]float64, n),
+		lptr:    make([]int32, n+1),
+		lidx:    make([]int32, 0, a.NNZ()),
+		lval:    make([]float64, 0, a.NNZ()),
+		uptr:    make([]int32, n+1),
+		uidx:    make([]int32, 0, a.NNZ()),
+		uval:    make([]float64, 0, a.NNZ()),
 		d:       make([]float64, n),
 	}
 	// CSC view of A (column pointers into row-index/value arrays).
@@ -113,8 +121,9 @@ func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, err
 					top := len(dfsStack) - 1
 					s := dfsStack[top]
 					advanced := false
-					for pos := posStack[top]; pos < len(f.lrow[s]); pos++ {
-						r := f.lrow[s][pos]
+					l0, l1 := int(f.lptr[s]), int(f.lptr[s+1])
+					for pos := posStack[top]; pos < l1-l0; pos++ {
+						r := int(f.lidx[l0+pos])
 						if inPat[r] != stamp {
 							inPat[r] = stamp
 							pattern = append(pattern, r)
@@ -143,13 +152,12 @@ func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, err
 			s := topo[i]
 			uv := x[f.prow[s]]
 			if uv != 0 {
-				lr, lv := f.lrow[s], f.lval[s]
-				for p, r := range lr {
-					x[r] -= lv[p] * uv
+				for p := int(f.lptr[s]); p < int(f.lptr[s+1]); p++ {
+					x[f.lidx[p]] -= f.lval[p] * uv
 				}
 			}
-			f.urow[k] = append(f.urow[k], s)
-			f.uval[k] = append(f.uval[k], uv)
+			f.uidx = append(f.uidx, int32(s))
+			f.uval = append(f.uval, uv)
 		}
 		// Pivot: max-magnitude row, relaxed to the sparsest row within
 		// pivotTol of the maximum.
@@ -184,10 +192,12 @@ func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, err
 				continue
 			}
 			if v := x[r]; v != 0 {
-				f.lrow[k] = append(f.lrow[k], r)
-				f.lval[k] = append(f.lval[k], v/piv)
+				f.lidx = append(f.lidx, int32(r))
+				f.lval = append(f.lval, v/piv)
 			}
 		}
+		f.lptr[k+1] = int32(len(f.lidx))
+		f.uptr[k+1] = int32(len(f.uidx))
 	}
 	return f, nil
 }
@@ -219,24 +229,27 @@ func toCSC(a *sparse.CSR) (colPtr, rowIdx []int, vals []float64) {
 // N returns the matrix dimension.
 func (f *spLU) N() int { return f.n }
 
-// Solve computes x with A·x = b (dst may alias b).
+// Solve computes x with A·x = b (dst may alias b). Scratch comes from
+// the shared workspace pool, so chain iterations solve allocation-free.
 func (f *spLU) Solve(dst, b []float64) {
 	n := f.n
 	if len(b) != n || len(dst) != n {
 		panic("solver: sparse Solve length mismatch")
 	}
 	// Forward: L·z = b over steps, consuming the residual in row space.
-	res := mat.CopyVec(b)
-	z := make([]float64, n)
+	res := mat.GetVec(n)
+	defer mat.PutVec(res)
+	copy(res, b)
+	z := mat.GetVec(n)
+	defer mat.PutVec(z)
 	for k := 0; k < n; k++ {
 		zk := res[f.prow[k]]
 		z[k] = zk
 		if zk == 0 {
 			continue
 		}
-		lr, lv := f.lrow[k], f.lval[k]
-		for p, r := range lr {
-			res[r] -= lv[p] * zk
+		for p := int(f.lptr[k]); p < int(f.lptr[k+1]); p++ {
+			res[f.lidx[p]] -= f.lval[p] * zk
 		}
 	}
 	// Backward: U·w = z, column-oriented.
@@ -246,9 +259,8 @@ func (f *spLU) Solve(dst, b []float64) {
 		if wk == 0 {
 			continue
 		}
-		ur, uv := f.urow[k], f.uval[k]
-		for p, s := range ur {
-			z[s] -= uv[p] * wk
+		for p := int(f.uptr[k]); p < int(f.uptr[k+1]); p++ {
+			z[f.uidx[p]] -= f.uval[p] * wk
 		}
 	}
 	for k := 0; k < n; k++ {
@@ -256,18 +268,108 @@ func (f *spLU) Solve(dst, b []float64) {
 	}
 }
 
-// SolveMat solves A·X = B column by column.
+// SolveBatch solves A·x = cols[c] for every column, in place: each
+// column is read as a right-hand side and overwritten with its
+// solution. One traversal of the factor's step metadata (pivot rows,
+// column pointers) serves the whole batch, with a column-major inner
+// loop over the right-hand sides; per-column arithmetic is identical to
+// a loop of Solve calls, so results are bit-exact either way. Columns
+// must not alias one another.
+func (f *spLU) SolveBatch(cols [][]float64) {
+	_ = f.solveBatch(nil, cols)
+}
+
+// SolveBatchCtx is SolveBatch with cooperative cancellation, polled
+// every batchCtxStride steps. On abort the columns are left untouched —
+// solutions only scatter back once the whole batch completes.
+func (f *spLU) SolveBatchCtx(ctx context.Context, cols [][]float64) error {
+	return f.solveBatch(ctx, cols)
+}
+
+func (f *spLU) solveBatch(ctx context.Context, cols [][]float64) error {
+	n := f.n
+	k := len(cols)
+	if k == 0 {
+		return nil
+	}
+	for _, c := range cols {
+		if len(c) != n {
+			panic("solver: sparse SolveBatch length mismatch")
+		}
+	}
+	res := mat.GetVec(k * n)
+	defer mat.PutVec(res)
+	z := mat.GetVec(k * n)
+	defer mat.PutVec(z)
+	for c, col := range cols {
+		copy(res[c*n:(c+1)*n], col)
+	}
+	for step := 0; step < n; step++ {
+		if ctx != nil && step%batchSolveCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		pr := f.prow[step]
+		p0, p1 := int(f.lptr[step]), int(f.lptr[step+1])
+		for c := 0; c < k; c++ {
+			rc := res[c*n : c*n+n]
+			zk := rc[pr]
+			z[c*n+step] = zk
+			if zk == 0 {
+				continue
+			}
+			for p := p0; p < p1; p++ {
+				rc[f.lidx[p]] -= f.lval[p] * zk
+			}
+		}
+	}
+	for step := n - 1; step >= 0; step-- {
+		if ctx != nil && step%batchSolveCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		dk := f.d[step]
+		p0, p1 := int(f.uptr[step]), int(f.uptr[step+1])
+		for c := 0; c < k; c++ {
+			zc := z[c*n : c*n+n]
+			wk := zc[step] / dk
+			zc[step] = wk
+			if wk == 0 {
+				continue
+			}
+			for p := p0; p < p1; p++ {
+				zc[f.uidx[p]] -= f.uval[p] * wk
+			}
+		}
+	}
+	for c, col := range cols {
+		zc := z[c*n : (c+1)*n]
+		for step := 0; step < n; step++ {
+			col[f.colperm[step]] = zc[step]
+		}
+	}
+	return nil
+}
+
+// batchSolveCtxStride is the per-step ctx poll cadence of the batched
+// sparse substitution.
+const batchSolveCtxStride = 512
+
+// SolveMat solves A·X = B through one batched substitution over all
+// columns.
 func (f *spLU) SolveMat(b *mat.Dense) *mat.Dense {
 	if b.R != f.n {
 		panic("solver: sparse SolveMat shape mismatch")
 	}
 	x := mat.NewDense(b.R, b.C)
-	col := make([]float64, b.R)
+	cols := make([][]float64, b.C)
 	for j := 0; j < b.C; j++ {
-		for i := 0; i < b.R; i++ {
-			col[i] = b.At(i, j)
-		}
-		f.Solve(col, col)
+		cols[j] = b.Col(j)
+	}
+	f.SolveBatch(cols)
+	for j, col := range cols {
 		x.SetCol(j, col)
 	}
 	return x
@@ -289,9 +391,5 @@ func (f *spLU) MinAbsPivot() float64 {
 
 // NNZ returns the stored factor nonzeros (fill diagnostics).
 func (f *spLU) NNZ() int {
-	nnz := f.n // diagonal
-	for k := 0; k < f.n; k++ {
-		nnz += len(f.lrow[k]) + len(f.urow[k])
-	}
-	return nnz
+	return f.n + len(f.lidx) + len(f.uidx)
 }

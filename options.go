@@ -94,6 +94,25 @@ func WithSolver(k SolverKind) Option {
 	return func(c *config) { c.opt.Solver = k.kind() }
 }
 
+// WithBlockSize caps how many right-hand sides the moment generators
+// group into one block back-solve (SolveBatch) against a shared shifted
+// factorization: 0 — the default — batches every column that shares a
+// shift, 1 forces the vector-granular single-RHS path, and k > 1 caps
+// blocks at k columns. The block substitution is arithmetic-identical
+// per column to looped single solves, so the resulting ROM is bit-exact
+// for every setting; only throughput, memory locality, and allocation
+// behavior move (observable via Stats.BatchSolves, Stats.BatchColumns,
+// and Stats.Allocs). Like WithParallel, it therefore does not
+// participate in Reducer cache keys.
+func WithBlockSize(k int) Option {
+	return func(c *config) {
+		if k < 0 {
+			k = 0
+		}
+		c.opt.BlockSize = k
+	}
+}
+
 // WithParallel fans the independent moment generators out over
 // goroutines — one per expansion point plus one per Volterra-3 branch.
 // The candidate ordering, and therefore the ROM, is identical to the

@@ -94,6 +94,13 @@ type ReducerStats struct {
 	StoreErrors int64
 	// Evictions counts in-memory LRU evictions under WithCacheLimit.
 	Evictions int64
+	// Solver-spine aggregates across every fresh reduction this service
+	// executed (cache/store hits contribute nothing — their solve work
+	// was paid when the artifact was first built): shifted-pencil factor
+	// steps, block back-solve calls, and the RHS columns those blocks
+	// carried. BatchColumns/BatchSolves is the realized multi-RHS
+	// batching width of the fleet.
+	Factorizations, BatchSolves, BatchColumns int64
 	// CachedROMs is the current cache population; InFlight the
 	// reductions currently executing.
 	CachedROMs, InFlight int
@@ -269,6 +276,12 @@ func (rd *Reducer) fill(ctx context.Context, sys *System, method string, cfg *co
 	if err != nil {
 		return nil, err
 	}
+	st := rom.Stats()
+	rd.mu.Lock()
+	rd.stats.Factorizations += st.Factorizations
+	rd.stats.BatchSolves += st.BatchSolves
+	rd.stats.BatchColumns += st.BatchColumns
+	rd.mu.Unlock()
 	rom.shared = true
 	rd.ensureStored(key, rom)
 	return rom, nil

@@ -47,6 +47,16 @@ type Stats struct {
 	Backend        string
 	Factorizations int64
 	SolveCacheHits int64
+	// BatchSolves counts the block back-solve (SolveBatch) calls the
+	// moment generators issued against the cached factorizations and
+	// BatchColumns the right-hand-side columns those blocks carried —
+	// BatchColumns/BatchSolves is the realized multi-RHS width (see
+	// WithBlockSize). Allocs is the approximate heap-allocation count
+	// of the build (process-wide delta; concurrent activity inflates
+	// it).
+	BatchSolves  int64
+	BatchColumns int64
+	Allocs       uint64
 }
 
 // Order returns the reduced dimension q.
@@ -84,6 +94,9 @@ func (r *ROM) Stats() Stats {
 		Backend:        s.Backend,
 		Factorizations: s.Factorizations,
 		SolveCacheHits: s.SolveCacheHits,
+		BatchSolves:    s.BatchSolves,
+		BatchColumns:   s.BatchColumns,
+		Allocs:         s.Allocs,
 	}
 }
 

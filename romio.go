@@ -16,10 +16,11 @@ import (
 // ROM wire format (versioned, little-endian; documented in DESIGN.md):
 //
 //	magic   [8]byte  "AVTMROM\x00"
-//	version uint32   currently 1
+//	version uint32   currently 2
 //	method  string   (uint32 length + bytes)
 //	stats   candidates, order int64; build ns int64;
-//	        backend string; factorizations, cacheHits int64
+//	        backend string; factorizations, cacheHits int64;
+//	        v2+: batchSolves, batchColumns int64, allocs uint64
 //	flags   uint64   bit 0: projection basis V present
 //	system  reduced QLDAE: n uint64, presence byte per matrix
 //	        (G1, G1S, G2, G3, D1, then B and L unconditionally)
@@ -34,8 +35,13 @@ import (
 var romMagic = [8]byte{'A', 'V', 'T', 'M', 'R', 'O', 'M', 0}
 
 // romFormatVersion is bumped on any wire-format change; readers reject
-// versions they do not understand.
-const romFormatVersion = 1
+// versions they do not understand. Version 2 added the batch-solve and
+// allocation counters to the stats block; v1 streams still load (the
+// added counters read as zero).
+const romFormatVersion = 2
+
+// romMinReadVersion is the oldest stream version this build accepts.
+const romMinReadVersion = 1
 
 // ErrBadMagic is returned by ReadFrom when the stream does not start
 // with the ROM magic header (corrupted or foreign data).
@@ -138,6 +144,9 @@ func (r *ROM) WriteTo(w io.Writer) (int64, error) {
 	cw.str(s.Backend)
 	cw.u64(uint64(s.Factorizations))
 	cw.u64(uint64(s.SolveCacheHits))
+	cw.u64(uint64(s.BatchSolves))
+	cw.u64(uint64(s.BatchColumns))
+	cw.u64(s.Allocs)
 	var flags uint64
 	if r.rom.V != nil {
 		flags |= 1
@@ -349,8 +358,9 @@ func (r *ROM) ReadFrom(src io.Reader) (int64, error) {
 	if magic != romMagic {
 		return cr.n, ErrBadMagic
 	}
-	if v := cr.u32(); cr.err == nil && v != romFormatVersion {
-		return cr.n, fmt.Errorf("%w: stream has v%d, this build reads v%d", ErrVersion, v, romFormatVersion)
+	version := cr.u32()
+	if cr.err == nil && (version < romMinReadVersion || version > romFormatVersion) {
+		return cr.n, fmt.Errorf("%w: stream has v%d, this build reads v%d–v%d", ErrVersion, version, romMinReadVersion, romFormatVersion)
 	}
 	out := &core.ROM{}
 	out.Method = cr.str()
@@ -360,6 +370,11 @@ func (r *ROM) ReadFrom(src io.Reader) (int64, error) {
 	out.Stats.Backend = cr.str()
 	out.Stats.Factorizations = int64(cr.u64())
 	out.Stats.SolveCacheHits = int64(cr.u64())
+	if version >= 2 {
+		out.Stats.BatchSolves = int64(cr.u64())
+		out.Stats.BatchColumns = int64(cr.u64())
+		out.Stats.Allocs = cr.u64()
+	}
 	flags := cr.u64()
 	sys := cr.systemBody()
 	if flags&1 != 0 {

@@ -259,6 +259,9 @@ func (s *Server) initVars() {
 	gauge("store_hits", rstat(func(st avtmor.ReducerStats) any { return st.StoreHits }))
 	gauge("store_errors", rstat(func(st avtmor.ReducerStats) any { return st.StoreErrors }))
 	gauge("coalesced", rstat(func(st avtmor.ReducerStats) any { return st.Coalesced }))
+	gauge("solver_factorizations", rstat(func(st avtmor.ReducerStats) any { return st.Factorizations }))
+	gauge("solver_batch_solves", rstat(func(st avtmor.ReducerStats) any { return st.BatchSolves }))
+	gauge("solver_batch_columns", rstat(func(st avtmor.ReducerStats) any { return st.BatchColumns }))
 	gauge("evictions", rstat(func(st avtmor.ReducerStats) any { return st.Evictions }))
 	gauge("cached_roms", rstat(func(st avtmor.ReducerStats) any { return st.CachedROMs }))
 	gauge("inflight_reductions", rstat(func(st avtmor.ReducerStats) any { return st.InFlight }))
