@@ -9,7 +9,8 @@
 // Usage:
 //
 //	avtmord [-addr HOST:PORT] [-store DIR] [-workers N] [-queue N]
-//	        [-cache-limit N] [-grace D]
+//	        [-cache-limit N] [-grace D] [-drain-notice D]
+//	        [-node HOST:PORT -peers HOST:PORT,HOST:PORT,...]
 //
 // Quickstart against a local daemon:
 //
@@ -21,9 +22,22 @@
 //	      "http://127.0.0.1:8472/v1/roms/$key/simulate"
 //	curl -s http://127.0.0.1:8472/metrics
 //
-// See the serve package and DESIGN.md §5 for the endpoint and
-// backpressure contracts. SIGINT/SIGTERM drain gracefully within the
-// -grace window.
+// Cluster mode shards the ROM key space over a static fleet with a
+// consistent-hash ring: start every node with the same -peers list and
+// its own -node entry, point clients at any of them, and each key is
+// reduced and stored on exactly one owner (requests entering elsewhere
+// are forwarded one hop). When -addr is left at its default, the
+// daemon listens on the -node address:
+//
+//	avtmord -node :8081 -peers :8081,:8082,:8083 -store ./roms-1 &
+//	avtmord -node :8082 -peers :8081,:8082,:8083 -store ./roms-2 &
+//	avtmord -node :8083 -peers :8081,:8082,:8083 -store ./roms-3 &
+//
+// See the serve package and DESIGN.md §5/§7 for the endpoint,
+// backpressure, and forwarding contracts. SIGINT/SIGTERM drain
+// gracefully: /healthz flips to 503 "draining" first, the listener
+// stays open for -drain-notice so load balancers and ring peers
+// observe the departure, then in-flight work drains within -grace.
 package main
 
 import (
@@ -36,19 +50,25 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"avtmor/serve"
 )
 
+const defaultAddr = "127.0.0.1:8472"
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8472", "listen address (port 0 picks an ephemeral port)")
+	addr := flag.String("addr", defaultAddr, "listen address (port 0 picks an ephemeral port; defaults to -node in cluster mode)")
 	dir := flag.String("store", "avtmord-store", "ROM store directory; \"\" keeps artifacts in memory only")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "reduction/simulation worker pool size")
 	queue := flag.Int("queue", 64, "pending-request queue depth; 0 = no queue, a request runs immediately or is answered 429")
 	cacheLimit := flag.Int("cache-limit", 256, "max ROMs held in memory, LRU-evicted to the store (0 = unbounded)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown drain window")
+	drainNotice := flag.Duration("drain-notice", time.Second, "how long /healthz advertises 503 draining before the listener closes (0 disables)")
+	node := flag.String("node", "", "this node's address as it appears in -peers (enables cluster mode)")
+	peers := flag.String("peers", "", "comma-separated static peer list of the whole fleet, this node included")
 	flag.Parse()
 	log.SetPrefix("avtmord: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -56,6 +76,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "avtmord: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
 		os.Exit(2)
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	if (len(peerList) > 0) != (*node != "") {
+		fmt.Fprintln(os.Stderr, "avtmord: -node and -peers must be set together")
+		flag.Usage()
+		os.Exit(2)
+	}
+	addrSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "addr" {
+			addrSet = true
+		}
+	})
+	listenAddr := *addr
+	if *node != "" && !addrSet {
+		listenAddr = *node
+	}
+	if *node != "" && addrSet && listenAddr != *node {
+		// Legitimate when binding wide (-addr 0.0.0.0:8081 -node
+		// hostA:8081), a fleet-degrading typo otherwise: peers forward
+		// to the ring identity, and if that address does not reach this
+		// listener every forward burns a dial timeout and falls back to
+		// redundant local compute.
+		log.Printf("warning: listening on %s but joining the ring as %s — peers forward to the latter; make sure it routes here", listenAddr, *node)
 	}
 
 	qd := *queue
@@ -67,13 +118,18 @@ func main() {
 		Workers:    *workers,
 		QueueDepth: qd,
 		CacheLimit: *cacheLimit,
+		Node:       *node,
+		Peers:      peerList,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(peerList) > 0 {
+		log.Printf("cluster node %s in fleet %v", *node, peerList)
 	}
 	log.Printf("listening on %s (store %q, workers %d, queue %d, cache limit %d)",
 		ln.Addr(), *dir, *workers, *queue, *cacheLimit)
@@ -90,7 +146,15 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("shutting down (drain window %s)", *grace)
+	// Drain sequence: advertise the departure first — /healthz answers
+	// 503 "draining" while the listener is still accepting — so load
+	// balancers and ring peers reroute ahead of connection errors,
+	// then stop accepting and let in-flight work finish.
+	s.Drain()
+	log.Printf("draining (notice %s, grace %s)", *drainNotice, *grace)
+	if *drainNotice > 0 {
+		time.Sleep(*drainNotice)
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {

@@ -1,0 +1,234 @@
+// Command benchdiff is the CI bench-regression gate: it parses `go
+// test -bench` output, compares every measured benchmark against the
+// committed baseline in BENCH_solver.json (ns/op and allocs/op), and
+// exits nonzero when any benchmark regressed past the threshold — so
+// a refactor that silently gives back the solver spine's speed fails
+// the nightly build instead of landing unnoticed.
+//
+// Usage:
+//
+//	go test -run XXX -bench ReduceBlocked -benchmem -benchtime 10x . > bench.out
+//	benchdiff [-baseline BENCH_solver.json] [-threshold 0.30] bench.out [more.out ...]
+//
+// With no file arguments, bench output is read from stdin. Benchmarks
+// in the output but absent from the baseline are reported and skipped
+// (record them when regenerating the baseline); a run that matches
+// nothing at all is an error, so a typo'd -bench regex cannot produce
+// a silently green gate. Wall-clock comparisons are honest only on
+// hardware comparable to the baseline host (recorded in the baseline's
+// cpu/cpus fields, printed on every run); allocs/op is
+// machine-independent and gated with the same threshold.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baseline is the subset of BENCH_solver.json the gate reads.
+type baseline struct {
+	Date     string             `json:"date"`
+	Go       string             `json:"go"`
+	CPU      string             `json:"cpu"`
+	CPUs     int                `json:"cpus"`
+	NsPerOp  map[string]float64 `json:"ns_per_op"`
+	Allocs   map[string]float64 `json:"allocs_per_op"`
+	Derived  map[string]float64 `json:"derived"`
+	Comment  string             `json:"comment"`
+	GOOS     string             `json:"goos"`
+	GOARCH   string             `json:"goarch"`
+	Preamble map[string]any     `json:"-"`
+}
+
+// measurement is one parsed benchmark result line.
+type measurement struct {
+	name      string // normalized: GOMAXPROCS suffix stripped
+	nsPerOp   float64
+	allocs    float64
+	hasAllocs bool
+}
+
+// benchLine matches `BenchmarkName-8   100   15234 ns/op ...`; the
+// allocs column only appears under -benchmem.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:[eE][+-]?[0-9]+)?) ns/op(.*)$`)
+	allocsCol  = regexp.MustCompile(`(^|\s)([0-9.]+) allocs/op`)
+	procSuffix = regexp.MustCompile(`-[0-9]+$`)
+)
+
+// normalize strips the -GOMAXPROCS suffix go test appends to every
+// benchmark name, so measurements match the baseline's keys.
+func normalize(name string) string { return procSuffix.ReplaceAllString(name, "") }
+
+// parseBench extracts every benchmark measurement from go test output.
+func parseBench(r io.Reader) ([]measurement, error) {
+	var out []measurement
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing ns/op of %s: %w", m[1], err)
+		}
+		meas := measurement{name: normalize(m[1]), nsPerOp: ns}
+		if a := allocsCol.FindStringSubmatch(m[3]); a != nil {
+			meas.allocs, err = strconv.ParseFloat(a[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing allocs/op of %s: %w", m[1], err)
+			}
+			meas.hasAllocs = true
+		}
+		out = append(out, meas)
+	}
+	return out, sc.Err()
+}
+
+// finding is one gate verdict: a benchmark compared against its
+// baseline entry.
+type finding struct {
+	name                string
+	metric              string // "ns/op" or "allocs/op"
+	measured, base      float64
+	ratio               float64 // measured / base
+	regressed, improved bool
+}
+
+// compare gates measurements against the baseline: a measurement
+// regresses when measured > base·(1+threshold), and is flagged as a
+// notable improvement when measured < base·(1−threshold) (a hint to
+// refresh the baseline so future regressions are caught from the new
+// level). Returns the findings plus the measured names missing from
+// the baseline.
+func compare(meas []measurement, base *baseline, threshold float64) (findings []finding, missing []string) {
+	for _, m := range meas {
+		bns, ok := base.NsPerOp[m.name]
+		if !ok {
+			missing = append(missing, m.name)
+			continue
+		}
+		f := finding{name: m.name, metric: "ns/op", measured: m.nsPerOp, base: bns}
+		if bns > 0 {
+			f.ratio = m.nsPerOp / bns
+			f.regressed = f.ratio > 1+threshold
+			f.improved = f.ratio < 1-threshold
+		}
+		findings = append(findings, f)
+		if ba, ok := base.Allocs[m.name]; ok && m.hasAllocs {
+			fa := finding{name: m.name, metric: "allocs/op", measured: m.allocs, base: ba}
+			switch {
+			case ba > 0:
+				fa.ratio = m.allocs / ba
+				fa.regressed = fa.ratio > 1+threshold
+				fa.improved = fa.ratio < 1-threshold
+			case m.allocs > 0:
+				// A zero-alloc baseline that now allocates is a
+				// regression no ratio can express.
+				fa.ratio = -1
+				fa.regressed = true
+			default:
+				fa.ratio = 1
+			}
+			findings = append(findings, fa)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].name != findings[j].name {
+			return findings[i].name < findings[j].name
+		}
+		return findings[i].metric < findings[j].metric
+	})
+	return findings, missing
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_solver.json", "committed baseline JSON")
+	threshold := flag.Float64("threshold", 0.30, "allowed fractional regression (0.30 = +30%) for ns/op and allocs/op")
+	flag.Parse()
+	if *threshold <= 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -threshold must be positive")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	var meas []measurement
+	if flag.NArg() == 0 {
+		if meas, err = parseBench(os.Stdin); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		part, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		meas = append(meas, part...)
+	}
+	if len(meas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in input (empty run or wrong file?)")
+		os.Exit(2)
+	}
+
+	findings, missing := compare(meas, &base, *threshold)
+	if len(findings) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: none of the %d measured benchmarks appear in %s — check the -bench regex\n",
+			len(meas), *baselinePath)
+		os.Exit(2)
+	}
+
+	fmt.Printf("benchdiff: %d measurements vs %s (baseline %s, %s, go %s, cpus %d), threshold +%.0f%%\n",
+		len(findings), *baselinePath, base.Date, base.CPU, base.Go, base.CPUs, *threshold*100)
+	regressions := 0
+	for _, f := range findings {
+		verdict := "ok"
+		switch {
+		case f.regressed:
+			verdict = "REGRESSED"
+			regressions++
+		case f.improved:
+			verdict = "improved (refresh baseline?)"
+		}
+		ratio := "n/a"
+		if f.ratio >= 0 {
+			ratio = fmt.Sprintf("%.2fx", f.ratio)
+		}
+		fmt.Printf("  %-52s %-10s %14.1f vs %14.1f  %-6s %s\n",
+			f.name, f.metric, f.measured, f.base, ratio, verdict)
+	}
+	for _, name := range missing {
+		fmt.Printf("  %-52s (not in baseline — record it on the next regeneration)\n", name)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: FAIL — %d regression(s) beyond +%.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: PASS")
+}

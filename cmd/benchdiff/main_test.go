@@ -1,0 +1,147 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: avtmor
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkReduceBlocked-1         	      20	   2200000 ns/op	  920000 B/op	    6000 allocs/op
+BenchmarkSolveBatchSparse/k=16-1 	      20	    150000 ns/op	     512 B/op	       2 allocs/op
+BenchmarkSolveBatchSparse/k=4-8  	      20	     37000 ns/op	     256 B/op	       2 allocs/op
+BenchmarkNotInBaseline-1         	     100	      1000 ns/op
+PASS
+ok  	avtmor	1.234s
+`
+
+func sampleBaseline() *baseline {
+	return &baseline{
+		NsPerOp: map[string]float64{
+			"BenchmarkReduceBlocked":         2110933,
+			"BenchmarkSolveBatchSparse/k=16": 152441,
+			"BenchmarkSolveBatchSparse/k=4":  37089,
+			"BenchmarkNeverMeasured":         1,
+		},
+		Allocs: map[string]float64{
+			"BenchmarkReduceBlocked":         6234,
+			"BenchmarkSolveBatchSparse/k=16": 2,
+			"BenchmarkSolveBatchSparse/k=4":  2,
+		},
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	meas, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas) != 4 {
+		t.Fatalf("parsed %d measurements, want 4: %+v", len(meas), meas)
+	}
+	// GOMAXPROCS suffixes are stripped, sub-benchmark names survive.
+	if meas[1].name != "BenchmarkSolveBatchSparse/k=16" || meas[1].nsPerOp != 150000 {
+		t.Fatalf("sub-benchmark parsed as %+v", meas[1])
+	}
+	if !meas[0].hasAllocs || meas[0].allocs != 6000 {
+		t.Fatalf("allocs column parsed as %+v", meas[0])
+	}
+	if meas[3].hasAllocs {
+		t.Fatalf("benchmark without -benchmem claims allocs: %+v", meas[3])
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	meas, _ := parseBench(strings.NewReader(sampleOutput))
+	findings, missing := compare(meas, sampleBaseline(), 0.30)
+	for _, f := range findings {
+		if f.regressed {
+			t.Fatalf("within-threshold run flagged: %+v", f)
+		}
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkNotInBaseline" {
+		t.Fatalf("missing = %v", missing)
+	}
+	// ns/op + allocs/op per matched benchmark: 3 matched, all with
+	// alloc baselines.
+	if len(findings) != 6 {
+		t.Fatalf("%d findings, want 6: %+v", len(findings), findings)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := sampleBaseline()
+	base.NsPerOp["BenchmarkReduceBlocked"] = 1000000 // measured 2.2e6 → 2.2x
+	findings, _ := compare(mustParse(t, sampleOutput), base, 0.30)
+	var hit *finding
+	for i := range findings {
+		if findings[i].name == "BenchmarkReduceBlocked" && findings[i].metric == "ns/op" {
+			hit = &findings[i]
+		}
+	}
+	if hit == nil || !hit.regressed {
+		t.Fatalf("2.2x slowdown not flagged: %+v", hit)
+	}
+	if hit.improved {
+		t.Fatal("regression also marked improved")
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base := sampleBaseline()
+	base.Allocs["BenchmarkReduceBlocked"] = 1000 // measured 6000 → 6x
+	findings, _ := compare(mustParse(t, sampleOutput), base, 0.30)
+	seen := false
+	for _, f := range findings {
+		if f.name == "BenchmarkReduceBlocked" && f.metric == "allocs/op" {
+			seen = true
+			if !f.regressed {
+				t.Fatalf("6x alloc growth not flagged: %+v", f)
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("alloc finding missing")
+	}
+}
+
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	base := sampleBaseline()
+	base.Allocs["BenchmarkSolveBatchSparse/k=16"] = 0 // was alloc-free, now 2
+	findings, _ := compare(mustParse(t, sampleOutput), base, 0.30)
+	for _, f := range findings {
+		if f.name == "BenchmarkSolveBatchSparse/k=16" && f.metric == "allocs/op" {
+			if !f.regressed {
+				t.Fatalf("allocs appearing on a zero-alloc baseline not flagged: %+v", f)
+			}
+			return
+		}
+	}
+	t.Fatal("zero-alloc finding missing")
+}
+
+func TestCompareMarksImprovement(t *testing.T) {
+	base := sampleBaseline()
+	base.NsPerOp["BenchmarkSolveBatchSparse/k=4"] = 370000 // measured 37000 → 0.1x
+	findings, _ := compare(mustParse(t, sampleOutput), base, 0.30)
+	for _, f := range findings {
+		if f.name == "BenchmarkSolveBatchSparse/k=4" && f.metric == "ns/op" {
+			if !f.improved || f.regressed {
+				t.Fatalf("10x speedup not marked improved: %+v", f)
+			}
+			return
+		}
+	}
+	t.Fatal("finding missing")
+}
+
+func mustParse(t *testing.T, out string) []measurement {
+	t.Helper()
+	meas, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meas
+}

@@ -1,0 +1,141 @@
+// Package cluster places keyed artifacts on a static set of peer
+// nodes with a consistent-hash ring, so a fleet of avtmord daemons
+// divides the ROM key space instead of every node recomputing and
+// storing every artifact. Each node is projected onto the ring at many
+// virtual points (SHA-256 of "node#vnode"); a key is owned by the node
+// whose virtual point is the first one clockwise of the key's hash.
+// Placement is a pure function of (peer list, key): every node with
+// the same peer list computes the same owner with no coordination, no
+// gossip, and no shared state — exactly the property a forwarding tier
+// needs. Virtual points keep the load split even (~128 points per node
+// bound the imbalance to a few percent), and removing one node only
+// reassigns that node's arcs instead of reshuffling the whole space.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count used when
+// New is given n <= 0. 128 points per node keeps the expected load
+// imbalance of a handful of nodes within a few percent while the ring
+// stays small enough to rebuild instantly.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over a static node list.
+// It is safe for concurrent use.
+type Ring struct {
+	nodes  []string // sorted, deduplicated
+	points []point  // sorted by hash
+}
+
+// point is one virtual node: a position on the ring owned by a node.
+type point struct {
+	hash uint64
+	node string
+}
+
+// New builds a ring with vnodes virtual points per node (vnodes <= 0
+// selects DefaultVirtualNodes). Node addresses are normalized with
+// Normalize, deduplicated, and sorted, so every peer that is handed
+// the same list — in any order, with or without explicit loopback
+// hosts — builds the identical ring. An empty node list yields a ring
+// that owns nothing (Owner returns "").
+func New(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, n := range nodes {
+		n = Normalize(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	r.points = make([]point, 0, len(r.nodes)*vnodes)
+	for _, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(n + "#" + strconv.Itoa(v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision between virtual points is vanishingly
+		// rare; break the tie by node name so the winner is still
+		// deterministic across processes.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the normalized, sorted node list the ring was built
+// over. The slice is shared; callers must not mutate it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Len returns the node count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Contains reports whether node (after normalization) is on the ring.
+func (r *Ring) Contains(node string) bool {
+	node = Normalize(node)
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// Owner returns the node that owns key: the first virtual point
+// clockwise of the key's hash. It returns "" only on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past twelve o'clock
+	}
+	return r.points[i].node
+}
+
+// Normalize canonicalizes a node address so that the strings peers
+// exchange in flags ("-peers :8081,127.0.0.1:8082") hash identically
+// on every node: a bare ":port" gains the loopback host it implies.
+// Whitespace-only input normalizes to "". Hosts are otherwise
+// compared textually — no DNS resolution — so a fleet must spell each
+// peer identically everywhere ("localhost:8081" and "127.0.0.1:8081"
+// are different ring nodes).
+func Normalize(addr string) string {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return ""
+	}
+	if addr[0] == ':' {
+		return "127.0.0.1" + addr
+	}
+	return addr
+}
+
+// hash64 is the ring's placement hash: the first 8 bytes of SHA-256.
+// Cryptographic diffusion keeps virtual points uniform even for the
+// highly structured inputs we feed it (hex digests, "host:port#k"),
+// and the function is stable across Go versions and processes —
+// unlike maphash — so placement never shifts under a rolling upgrade.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// String renders a small diagnostic summary.
+func (r *Ring) String() string {
+	return fmt.Sprintf("cluster.Ring{%d nodes, %d points}", len(r.nodes), len(r.points))
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Shaped like the serve tier's placement keys: hex digests.
+		out[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return out
+}
+
+// TestRingDeterministic: placement is a pure function of the peer
+// list — independent of list order, ":port" vs "127.0.0.1:port"
+// spelling, duplicates, and of which process builds the ring.
+func TestRingDeterministic(t *testing.T) {
+	a := New([]string{"127.0.0.1:8081", "127.0.0.1:8082", "127.0.0.1:8083"}, 0)
+	b := New([]string{":8083", " 127.0.0.1:8082", ":8081", ":8081"}, 0)
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("node counts %d, %d; want 3", a.Len(), b.Len())
+	}
+	for i, n := range a.Nodes() {
+		if b.Nodes()[i] != n {
+			t.Fatalf("normalized node lists differ: %v vs %v", a.Nodes(), b.Nodes())
+		}
+	}
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s differs across equivalent rings: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	// Rebuilding the identical ring moves nothing.
+	c := New(a.Nodes(), 0)
+	for _, k := range keys(500) {
+		if a.Owner(k) != c.Owner(k) {
+			t.Fatal("rebuild of the same node list moved a key")
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count, no node of a
+// 4-node ring strays far from its fair share of a large key set.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{":8081", ":8082", ":8083", ":8084"}
+	r := New(nodes, 0)
+	counts := map[string]int{}
+	ks := keys(20000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(len(ks)) / float64(len(nodes))
+	for n, c := range counts {
+		if dev := math.Abs(float64(c)-fair) / fair; dev > 0.35 {
+			t.Fatalf("node %s owns %d of %d keys (%.0f%% off fair share %g)", n, c, len(ks), dev*100, fair)
+		}
+	}
+	if len(counts) != len(nodes) {
+		t.Fatalf("only %d of %d nodes own any keys", len(counts), len(nodes))
+	}
+}
+
+// TestRingStability: removing one node only reassigns the keys it
+// owned; everything placed on a surviving node stays put. This is the
+// property that makes owner-down fallback cheap — the rest of the
+// fleet's cache and store placement is undisturbed.
+func TestRingStability(t *testing.T) {
+	full := New([]string{":8081", ":8082", ":8083", ":8084"}, 0)
+	reduced := New([]string{":8081", ":8082", ":8084"}, 0)
+	moved, kept := 0, 0
+	for _, k := range keys(5000) {
+		was := full.Owner(k)
+		now := reduced.Owner(k)
+		if was == "127.0.0.1:8083" {
+			if now == "127.0.0.1:8083" {
+				t.Fatal("removed node still owns a key")
+			}
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %s moved %s -> %s although its owner survived", k, was, now)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved %d, kept %d", moved, kept)
+	}
+}
+
+// TestRingEdgeCases: empty and single-node rings, Contains, Normalize.
+func TestRingEdgeCases(t *testing.T) {
+	empty := New(nil, 0)
+	if empty.Owner("anything") != "" || empty.Len() != 0 {
+		t.Fatal("empty ring must own nothing")
+	}
+	solo := New([]string{":9000"}, 0)
+	for _, k := range keys(50) {
+		if solo.Owner(k) != "127.0.0.1:9000" {
+			t.Fatal("single-node ring must own everything")
+		}
+	}
+	r := New([]string{":8081", "10.0.0.2:8082"}, 0)
+	if !r.Contains("127.0.0.1:8081") || !r.Contains(":8081") || r.Contains(":8082") {
+		t.Fatalf("Contains over %v misbehaves", r.Nodes())
+	}
+	for in, want := range map[string]string{
+		":8081":          "127.0.0.1:8081",
+		" 10.1.2.3:80 ":  "10.1.2.3:80",
+		"":               "",
+		"   ":            "",
+		"host.name:8080": "host.name:8080",
+	} {
+		if got := Normalize(in); got != want {
+			t.Fatalf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// BenchmarkRingOwner measures one placement decision on a 3-node
+// default ring — the per-request cost the serve tier pays to route.
+// Recorded in BENCH_solver.json.
+func BenchmarkRingOwner(b *testing.B) {
+	r := New([]string{":8081", ":8082", ":8083"}, 0)
+	ks := keys(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Owner(ks[i%len(ks)]) == "" {
+			b.Fatal("empty owner")
+		}
+	}
+}

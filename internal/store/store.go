@@ -166,6 +166,31 @@ func (s *Store) Keys() []string {
 	return out
 }
 
+// Has reports whether an artifact with the given content address is
+// servable, without deserializing it: an index hit answers
+// immediately, and an unindexed digest falls back to a filesystem
+// stat so artifacts dropped in by a sibling process after Open are
+// still visible. It is the cheap local-presence probe the serve
+// tier's cluster routing uses to decide whether a by-address request
+// needs forwarding at all.
+func (s *Store) Has(digest string) bool {
+	if !validDigest(digest) {
+		return false
+	}
+	s.mu.Lock()
+	present := s.index[digest]
+	s.mu.Unlock()
+	if present {
+		return true
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, digest+romExt)); err != nil {
+		return false
+	}
+	// Seen on disk but not indexed: a sibling wrote it. Do not index it
+	// here — Get validates before indexing, Has must stay O(stat).
+	return true
+}
+
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

@@ -191,3 +191,60 @@ func TestStoreSidecarPickup(t *testing.T) {
 		t.Fatalf("len %d after pickup", s.Len())
 	}
 }
+
+// TestStoreHas: Has is a cheap presence probe — index hit, stat-level
+// sibling pickup, and no index pollution for merely stat'ed files.
+func TestStoreHas(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom, key := testROM(t)
+	digest := store.Digest(key)
+	if s.Has(digest) {
+		t.Fatal("empty store claims presence")
+	}
+	if s.Has("not-a-digest") {
+		t.Fatal("malformed digest claims presence")
+	}
+	if err := s.Store(key, rom); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(digest) {
+		t.Fatal("stored artifact not visible to Has")
+	}
+	// Sibling-written artifact: visible via stat without being indexed
+	// (Get still validates before indexing).
+	sibling, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom2, key2 := func() (*avtmor.ROM, string) {
+		w := avtmor.NTLCurrent(20)
+		opts := []avtmor.Option{avtmor.WithOrders(2, 1, 0), avtmor.WithExpansion(w.S0)}
+		r, err := avtmor.Reduce(context.Background(), w.System, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, avtmor.RequestKey(w.System, opts...)
+	}()
+	if err := sibling.Store(key2, rom2); err != nil {
+		t.Fatal(err)
+	}
+	d2 := store.Digest(key2)
+	if !s.Has(d2) {
+		t.Fatal("sibling-written artifact invisible to Has")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Has indexed a merely stat'ed file: len %d", s.Len())
+	}
+	// The sibling file was never indexed by s, so deleting it makes
+	// Has's stat fallback answer false immediately. (An *indexed*
+	// digest would keep answering true until a Get heals the index —
+	// the index hit short-circuits the stat by design.)
+	os.Remove(filepath.Join(dir, d2+".rom"))
+	if s.Has(d2) {
+		t.Fatal("unindexed deleted artifact claims presence")
+	}
+}

@@ -161,6 +161,48 @@ func requestKey(sys *System, method string, opts []Option) string {
 	return buildConfig(opts).cacheKey(sys, method)
 }
 
+// Lookup returns the ROM already available under a canonical request
+// key (see RequestKey) without ever launching a reduction: the
+// in-memory cache is probed first (counted in CacheHits, refreshing
+// the LRU position), then the attached ROMStore (counted in
+// StoreHits, and promoted into the in-memory cache). A miss returns
+// (nil, nil). A store read failure returns (nil, err) and counts in
+// StoreErrors — callers that can compute elsewhere (the serve tier's
+// cluster forwarding treats a Lookup miss as "ask the owner") should
+// treat it as a miss.
+func (rd *Reducer) Lookup(key string) (*ROM, error) {
+	if key == "" {
+		return nil, nil
+	}
+	rd.mu.Lock()
+	if el, ok := rd.cache[key]; ok {
+		rd.stats.CacheHits++
+		rd.lru.MoveToFront(el)
+		rom := el.Value.(*cacheEntry).rom
+		rd.mu.Unlock()
+		return rom, nil
+	}
+	st := rd.store
+	rd.mu.Unlock()
+	if st == nil {
+		return nil, nil
+	}
+	rom, err := st.Load(key)
+	if err != nil {
+		rd.count(&rd.stats.StoreErrors)
+		return nil, err
+	}
+	if rom == nil {
+		return nil, nil
+	}
+	rom.shared = true
+	rd.mu.Lock()
+	rd.stats.StoreHits++
+	rd.cacheAdd(key, rom)
+	rd.mu.Unlock()
+	return rom, nil
+}
+
 // Reduce returns the cached ROM for (sys, opts), joining an in-flight
 // identical reduction or launching a new one. The options are
 // canonicalized for the cache key: everything that changes the ROM

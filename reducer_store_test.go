@@ -211,3 +211,56 @@ func TestReducerStoreFailures(t *testing.T) {
 		t.Fatalf("failure accounting: %+v", st)
 	}
 }
+
+// TestReducerLookup: Lookup probes the in-memory cache and the store
+// without ever launching a reduction — the serve tier's cluster
+// routing relies on this to answer locally-present keys instead of
+// forwarding them.
+func TestReducerLookup(t *testing.T) {
+	fs := newFakeStore()
+	rd := avtmor.NewReducer(avtmor.WithROMStore(fs))
+	w := avtmor.NTLCurrent(20)
+	key := avtmor.RequestKey(w.System, variantOpts(w, 3)...)
+
+	// Cold service: a miss, and no reduction was triggered.
+	if rom, err := rd.Lookup(key); err != nil || rom != nil {
+		t.Fatalf("cold Lookup = %v, %v; want miss", rom, err)
+	}
+	if st := rd.Stats(); st.Reductions != 0 {
+		t.Fatalf("Lookup launched a reduction: %+v", st)
+	}
+
+	want, err := rd.Reduce(context.Background(), w.System, variantOpts(w, 3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rom, err := rd.Lookup(key); err != nil || rom != want {
+		t.Fatalf("cache Lookup = %v, %v; want the cached instance", rom, err)
+	}
+	if st := rd.Stats(); st.CacheHits != 1 {
+		t.Fatalf("cache Lookup accounting: %+v", st)
+	}
+
+	// A fresh Reducer sharing only the store answers from the second
+	// tier and promotes the artifact into its cache.
+	rd2 := avtmor.NewReducer(avtmor.WithROMStore(fs))
+	rom, err := rd2.Lookup(key)
+	if err != nil || rom == nil {
+		t.Fatalf("store Lookup = %v, %v", rom, err)
+	}
+	if st := rd2.Stats(); st.StoreHits != 1 || st.Reductions != 0 || st.CachedROMs != 1 {
+		t.Fatalf("store Lookup accounting: %+v", st)
+	}
+	if again, err := rd2.Lookup(key); err != nil || again != rom {
+		t.Fatalf("promoted entry not served from memory: %v, %v", again, err)
+	}
+
+	// Failures and degenerate keys are misses, not crashes.
+	if rom, err := rd.Lookup(""); err != nil || rom != nil {
+		t.Fatalf(`Lookup("") = %v, %v`, rom, err)
+	}
+	fs.failLoad = true
+	if rom, err := avtmor.NewReducer(avtmor.WithROMStore(fs)).Lookup(key); err == nil || rom != nil {
+		t.Fatalf("broken-store Lookup = %v, %v; want error", rom, err)
+	}
+}

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"avtmor/internal/cluster"
+)
+
+// HeaderForwarded marks a request that already crossed one peer hop.
+// Its value is the forwarding node's address. A server that receives
+// it always answers locally — never re-forwards — so divergent ring
+// views (a fleet mid-rollout with different -peers lists) degrade to
+// one extra hop instead of a forwarding loop.
+const HeaderForwarded = "X-Avtmor-Forwarded"
+
+// peerVars is the per-peer counter pair surfaced under
+// /metrics → cluster.peers.<addr>.
+type peerVars struct {
+	forwards, forwardErrors expvar.Int
+}
+
+// clusterState is the routing tier of a Server: the consistent-hash
+// ring over the static peer list, the HTTP client used for peer hops,
+// and the counters that make routing observable. A nil clusterState
+// (no -peers) keeps the server a plain single process.
+type clusterState struct {
+	ring *cluster.Ring
+	self string
+	hc   *http.Client
+
+	peers map[string]*peerVars // normalized peer addr → counters (self excluded)
+	// ownerHits counts requests this node answered because the ring
+	// placed the key here; forwardedServes the requests answered
+	// locally because a peer forwarded them (loop guard); localHits
+	// by-address requests served locally although another node owns
+	// the key (the artifact was already on this node); fallbackLocal
+	// requests computed/served locally because the owner was
+	// unreachable or draining.
+	ownerHits, forwardedServes, localHits, fallbackLocal expvar.Int
+}
+
+// newClusterState validates and builds the routing tier from Config.
+// An empty peer list returns (nil, nil): clustering disabled.
+func newClusterState(cfg Config) (*clusterState, error) {
+	if len(cfg.Peers) == 0 {
+		if cfg.Node != "" {
+			return nil, fmt.Errorf("serve: Node %q set without Peers", cfg.Node)
+		}
+		return nil, nil
+	}
+	self := cluster.Normalize(cfg.Node)
+	if self == "" {
+		return nil, fmt.Errorf("serve: Peers configured but Node is empty; set Node to this server's address as it appears in Peers")
+	}
+	ring := cluster.New(cfg.Peers, 0)
+	if !ring.Contains(self) {
+		return nil, fmt.Errorf("serve: Node %q is not in Peers %v", self, ring.Nodes())
+	}
+	cs := &clusterState{
+		ring:  ring,
+		self:  self,
+		peers: map[string]*peerVars{},
+		hc: &http.Client{
+			// No overall client timeout: the forwarded request carries
+			// the caller's context (and ?timeout= deadline). The dial
+			// timeout is what turns a dead owner into a fast local
+			// fallback instead of a hung entry node.
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{
+					Timeout:   2 * time.Second,
+					KeepAlive: 30 * time.Second,
+				}).DialContext,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, p := range ring.Nodes() {
+		if p != self {
+			cs.peers[p] = &peerVars{}
+		}
+	}
+	return cs, nil
+}
+
+// vars renders the routing tier as a nested expvar map mounted at
+// /metrics → "cluster".
+func (cs *clusterState) vars() *expvar.Map {
+	m := new(expvar.Map).Init()
+	self := cs.self
+	m.Set("node", expvar.Func(func() any { return self }))
+	m.Set("nodes", expvar.Func(func() any { return len(cs.ring.Nodes()) }))
+	m.Set("owner_hits", &cs.ownerHits)
+	m.Set("forwarded_serves", &cs.forwardedServes)
+	m.Set("local_hits", &cs.localHits)
+	m.Set("fallback_local", &cs.fallbackLocal)
+	peers := new(expvar.Map).Init()
+	for addr, pv := range cs.peers {
+		pm := new(expvar.Map).Init()
+		pm.Set("forwards", &pv.forwards)
+		pm.Set("forward_errors", &pv.forwardErrors)
+		peers.Set(addr, pm)
+	}
+	m.Set("peers", peers)
+	return m
+}
+
+// route classifies a request against the ring. It returns the owner's
+// address when the request should be forwarded, or "" when it must be
+// served locally (not clustered, loop-guarded, or owned here).
+func (s *Server) route(r *http.Request, digest string) string {
+	cs := s.cluster
+	if cs == nil {
+		return ""
+	}
+	if r.Header.Get(HeaderForwarded) != "" {
+		cs.forwardedServes.Add(1)
+		return ""
+	}
+	owner := cs.ring.Owner(digest)
+	if owner == cs.self || owner == "" {
+		cs.ownerHits.Add(1)
+		return ""
+	}
+	return owner
+}
+
+// hasLocal reports whether the artifact with the given content
+// address is already present on this node (store index/stat probe, or
+// the in-memory by-address map when persistence is disabled) — in
+// which case a by-address request is served locally even when another
+// node owns the key: content addressing makes every copy identical.
+func (s *Server) hasLocal(digest string) bool {
+	if s.st != nil {
+		return s.st.Has(digest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem[digest] != nil
+}
+
+// relay forwards the request to owner and streams the owner's
+// response back verbatim. It returns false — having written nothing —
+// when the owner is unreachable or draining (connect error, 503), so
+// the caller can fall back to serving locally; any other owner
+// response, including client errors and backpressure, is the answer
+// and is relayed as-is.
+func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, body io.Reader) bool {
+	cs := s.cluster
+	pv := cs.peers[owner]
+	pv.forwards.Add(1)
+	u := *r.URL
+	u.Scheme = "http"
+	u.Host = owner
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), body)
+	if err != nil {
+		pv.forwardErrors.Add(1)
+		return false
+	}
+	req.Header.Set(HeaderForwarded, cs.self)
+	for _, h := range []string{"Content-Type", "Accept"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	resp, err := cs.hc.Do(req)
+	if err != nil {
+		pv.forwardErrors.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// The owner is draining (or shedding its shutdown): treat it as
+		// down and let this node degrade to local service rather than
+		// bubbling a 5xx to the client.
+		io.Copy(io.Discard, resp.Body)
+		pv.forwardErrors.Add(1)
+		return false
+	}
+	for _, h := range []string{"Content-Type", "X-Avtmor-Rom-Key", "X-Avtmor-Rom-Order", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// Drain flips /healthz to 503 "draining" so load balancers and ring
+// peers stop routing new work here, while everything already accepted
+// (and forwarded peer traffic on open connections) keeps being served.
+// Drain is idempotent and implied by Close; cmd/avtmord calls it on
+// SIGTERM before the listener closes so the fleet observes the
+// departure ahead of connection errors.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain (or Close) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }

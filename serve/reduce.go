@@ -35,14 +35,8 @@ import (
 //	timeout      per-request deadline (Go duration, e.g. 30s)
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	s.reduceReqs.Add(1)
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			s.httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
-		} else {
-			s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
-		}
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	sys, err := parseSystemBody(body)
@@ -68,6 +62,24 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		reduce = s.reducer.ReduceNORM
 	}
 	digest := store.Digest(key)
+	if owner := s.route(r, digest); owner != "" {
+		// Another node owns this key. If the artifact somehow already
+		// lives here (pre-cluster history, an earlier owner-down
+		// fallback), answer from the local tiers — content addressing
+		// makes every copy identical. Otherwise forward the original
+		// body bytes to the owner, and degrade to computing locally
+		// only when the owner is unreachable or draining.
+		if cached, err := s.reducer.Lookup(key); err == nil && cached != nil {
+			s.cluster.localHits.Add(1)
+			s.remember(digest, cached)
+			writeROM(w, digest, cached)
+			return
+		}
+		if s.relay(w, r, owner, bytes.NewReader(body)) {
+			return
+		}
+		s.cluster.fallbackLocal.Add(1)
+	}
 	var (
 		rom  *avtmor.ROM
 		rerr error
@@ -83,16 +95,50 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.remember(digest, rom)
+	writeROM(w, digest, rom)
+}
+
+// readBody reads the bounded request body, answering 413/400 itself
+// on failure.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+		} else {
+			s.httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// writeROM streams an artifact with its content-address headers.
+func writeROM(w http.ResponseWriter, digest string, rom *avtmor.ROM) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Avtmor-Rom-Key", digest)
 	w.Header().Set("X-Avtmor-Rom-Order", strconv.Itoa(rom.Order()))
 	rom.WriteTo(w)
 }
 
-// handleGetROM streams a stored artifact by content address.
+// handleGetROM streams a stored artifact by content address. On a
+// clustered server, addresses owned by a peer are forwarded there
+// unless the artifact is already local; an unreachable owner degrades
+// to the local lookup (a miss is then the honest 404).
 func (s *Server) handleGetROM(w http.ResponseWriter, r *http.Request) {
 	s.romGets.Add(1)
 	digest := r.PathValue("key")
+	if owner := s.route(r, digest); owner != "" {
+		switch {
+		case s.hasLocal(digest):
+			s.cluster.localHits.Add(1)
+		case s.relay(w, r, owner, nil):
+			return
+		default:
+			s.cluster.fallbackLocal.Add(1)
+		}
+	}
 	rom, err := s.lookup(digest)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "loading ROM: %v", err)
@@ -102,10 +148,7 @@ func (s *Server) handleGetROM(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusNotFound, "no ROM with key %s", digest)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Avtmor-Rom-Key", digest)
-	w.Header().Set("X-Avtmor-Rom-Order", strconv.Itoa(rom.Order()))
-	rom.WriteTo(w)
+	writeROM(w, digest, rom)
 }
 
 // opError maps engine failures of op ("reduction"/"simulation"):

@@ -56,6 +56,16 @@ type Config struct {
 	CacheLimit int
 	// MaxBodyBytes caps request bodies. Default 64 MiB.
 	MaxBodyBytes int64
+	// Node and Peers enable the cluster tier: Peers is the static
+	// address list of every node in the fleet (this one included) and
+	// Node is this server's own entry in it. Keys are placed on a
+	// consistent-hash ring over Peers; requests for keys owned by
+	// another node are forwarded there (one hop at most, guarded by
+	// X-Avtmor-Forwarded), and an unreachable or draining owner
+	// degrades to local service. Empty Peers keeps the server a plain
+	// single process. See DESIGN.md §7.
+	Node  string
+	Peers []string
 }
 
 // Server is the HTTP reduction service. Create with New, mount
@@ -74,6 +84,9 @@ type Server struct {
 	closeOne sync.Once
 	wg       sync.WaitGroup
 	busy     atomic.Int64
+	draining atomic.Bool
+
+	cluster *clusterState // nil when Peers is empty
 
 	vars                          *expvar.Map
 	reduceReqs, simReqs, romGets  expvar.Int
@@ -107,6 +120,10 @@ func New(cfg Config) (*Server, error) {
 		}
 		ropts = append(ropts, avtmor.WithROMStore(st))
 	}
+	cs, err := newClusterState(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:     cfg,
 		reducer: avtmor.NewReducer(ropts...),
@@ -114,6 +131,7 @@ func New(cfg Config) (*Server, error) {
 		mem:     map[string]*avtmor.ROM{},
 		queue:   make(chan func(), cfg.QueueDepth),
 		closed:  make(chan struct{}),
+		cluster: cs,
 	}
 	s.initVars()
 	for i := 0; i < cfg.Workers; i++ {
@@ -130,19 +148,32 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/reduce", s.handleReduce)
 	mux.HandleFunc("GET /v1/roms/{key}", s.handleGetROM)
 	mux.HandleFunc("POST /v1/roms/{key}/simulate", s.handleSimulate)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
-// Close drains the worker pool: waiting requests are answered 503, and
-// Close returns once in-flight work finishes (work holds a request
-// context, so an upstream http.Server shutdown that cancels request
-// contexts bounds the wait).
+// handleHealthz is the load-balancer (and ring-peer) health probe:
+// "ok" while serving, 503 "draining" from the moment Drain or Close
+// is called — before the listener stops accepting — so routers pull
+// this node out of rotation ahead of hard connection errors.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Close marks the server draining (/healthz → 503) and drains the
+// worker pool: waiting requests are answered 503, and Close returns
+// once in-flight work finishes (work holds a request context, so an
+// upstream http.Server shutdown that cancels request contexts bounds
+// the wait).
 func (s *Server) Close() error {
+	s.Drain()
 	s.closeOne.Do(func() { close(s.closed) })
 	s.wg.Wait()
 	return nil
@@ -277,6 +308,15 @@ func (s *Server) initVars() {
 		}
 		return s.st.Stats().Quarantined
 	})
+	gauge("draining", func() any {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	if s.cluster != nil {
+		m.Set("cluster", s.cluster.vars())
+	}
 	s.vars = m
 }
 

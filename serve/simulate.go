@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -64,6 +66,23 @@ type simResponse struct {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.simReqs.Add(1)
 	digest := r.PathValue("key")
+	if owner := s.route(r, digest); owner != "" {
+		if s.hasLocal(digest) {
+			s.cluster.localHits.Add(1)
+		} else {
+			// Forwarding needs the workload bytes twice (relay, then
+			// possibly the local fallback), so buffer them up front.
+			body, ok := s.readBody(w, r)
+			if !ok {
+				return
+			}
+			if s.relay(w, r, owner, bytes.NewReader(body)) {
+				return
+			}
+			s.cluster.fallbackLocal.Add(1)
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+	}
 	rom, err := s.lookup(digest)
 	if err != nil {
 		s.httpError(w, http.StatusInternalServerError, "loading ROM: %v", err)
