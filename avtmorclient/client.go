@@ -1,0 +1,565 @@
+// Package avtmorclient is the ring-aware Go client for an avtmord
+// fleet. It speaks the same request grammar and consistent-hash ring
+// as the serving tier, so a clustered call dials the key's owner
+// directly instead of paying the one-hop relay tax on every
+// miss-routed request; it reuses connections, retries 429/503 answers
+// with jittered backoff that honors Retry-After, submits many inputs
+// in one batch POST (internal/wire framing), and revalidates a local
+// artifact cache with If-None-Match against the digest ETag so
+// repeated GETs of an unchanged ROM cost a 304, not a body.
+//
+// Placement rules (DESIGN.md §9): with one configured node everything
+// goes there; with the fleet list the client computes each request's
+// canonical cache key — the same query.Parse + RequestKey path the
+// server runs — hashes its digest on the same 128-vnode ring, and
+// dials the owner. If the owner is unreachable the client walks the
+// remaining nodes, which serve locally (fallback) or relay one hop;
+// correctness never depends on client-side placement, only latency
+// does. A key-verification guard (server's X-Avtmor-Rom-Key must
+// equal the client-computed digest) turns any client/server grammar
+// drift into a loud error instead of silent mis-placement.
+package avtmorclient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"avtmor"
+	"avtmor/internal/cluster"
+	"avtmor/internal/query"
+	"avtmor/internal/store"
+	"avtmor/internal/wire"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Nodes is the fleet address list ("host:port" or ":port", same
+	// syntax as avtmord -peers). One node disables ring placement; two
+	// or more make the client dial each key's ring owner directly.
+	Nodes []string
+	// HTTPClient overrides the transport. The default reuses
+	// connections per node and bounds dial and response-header waits so
+	// a wedged node fails over instead of hanging the caller.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts per node after a retryable
+	// answer (429/503, honoring Retry-After). Default 3.
+	MaxRetries int
+	// BaseBackoff seeds the exponential backoff between retries
+	// (jittered ±50%; Retry-After takes precedence). Default 50ms.
+	BaseBackoff time.Duration
+	// MaxResponseBytes bounds each ROM or error body the client is
+	// willing to read. Default 64 MiB.
+	MaxResponseBytes int64
+}
+
+// Stats is a snapshot of the client's lifetime counters.
+type Stats struct {
+	// Requests counts HTTP requests sent (retries included).
+	Requests int64
+	// Retries counts backoff-and-resend cycles.
+	Retries int64
+	// Revalidated counts GETs answered 304 from the local cache.
+	Revalidated int64
+	// Failovers counts owner-unreachable switches to another node.
+	Failovers int64
+}
+
+// Client talks to one avtmord node or a fleet. It is safe for
+// concurrent use; create with New.
+type Client struct {
+	nodes []string
+	ring  *cluster.Ring // nil with a single node
+	hc    *http.Client
+
+	maxRetries int
+	backoff    time.Duration
+	maxResp    int64
+
+	mu    sync.Mutex
+	cache map[string][]byte // digest → ROM wire bytes (immutable: content-addressed)
+	place map[string]string // params+body fingerprint → digest (placement memo)
+	stats Stats
+}
+
+// placeMemoLimit bounds the placement memo; on overflow the memo is
+// simply cleared (placement is cheap to recompute, the memo only
+// shaves the parse off repeated submissions of identical requests).
+const placeMemoLimit = 4096
+
+// New validates the fleet list and builds a client.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("avtmorclient: no nodes configured")
+	}
+	var nodes []string
+	seen := map[string]bool{}
+	for _, n := range cfg.Nodes {
+		a := cluster.Normalize(n)
+		if a == "" {
+			return nil, fmt.Errorf("avtmorclient: empty node address in %v", cfg.Nodes)
+		}
+		if !seen[a] {
+			seen[a] = true
+			nodes = append(nodes, a)
+		}
+	}
+	c := &Client{
+		nodes:      nodes,
+		hc:         cfg.HTTPClient,
+		maxRetries: cfg.MaxRetries,
+		backoff:    cfg.BaseBackoff,
+		maxResp:    cfg.MaxResponseBytes,
+		cache:      map[string][]byte{},
+		place:      map[string]string{},
+	}
+	if len(nodes) > 1 {
+		c.ring = cluster.New(nodes, 0)
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{
+					Timeout:   2 * time.Second,
+					KeepAlive: 30 * time.Second,
+				}).DialContext,
+				MaxIdleConnsPerHost:   16,
+				IdleConnTimeout:       90 * time.Second,
+				ResponseHeaderTimeout: 30 * time.Second,
+			},
+		}
+	}
+	if c.maxRetries <= 0 {
+		c.maxRetries = 3
+	}
+	if c.backoff <= 0 {
+		c.backoff = 50 * time.Millisecond
+	}
+	if c.maxResp <= 0 {
+		c.maxResp = 64 << 20
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Owner returns the node the fleet's ring places digest on (the first
+// node when ring placement is disabled).
+func (c *Client) Owner(digest string) string {
+	if c.ring == nil {
+		return c.nodes[0]
+	}
+	return c.ring.Owner(digest)
+}
+
+// candidates returns the nodes to try for digest, owner first.
+func (c *Client) candidates(digest string) []string {
+	owner := c.Owner(digest)
+	out := make([]string, 0, len(c.nodes))
+	out = append(out, owner)
+	for _, n := range c.nodes {
+		if n != owner {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ReduceResult is one reduction's outcome.
+type ReduceResult struct {
+	// Key is the artifact's content address (hex SHA-256 of the
+	// canonical cache key), valid fleet-wide.
+	Key string
+	// Raw is the ROM in wire format, byte-identical to what any other
+	// path (single, batch, GET) yields for the same input.
+	Raw []byte
+	// ROM is the parsed artifact.
+	ROM *avtmor.ROM
+}
+
+// Reduce submits one netlist or serialized-System body with the given
+// reduce query parameters (k1/k2/k3, s0, … — see query.Parse) and
+// returns the artifact. The request is placed on the key's ring owner;
+// the ROM bytes also prime the local GetROM cache.
+func (c *Client) Reduce(ctx context.Context, body []byte, params url.Values) (*ReduceResult, error) {
+	digest, err := c.digestOf(body, params)
+	if err != nil {
+		return nil, err
+	}
+	u := "/v1/reduce"
+	if enc := params.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := c.do(ctx, digest, func(node string) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+node+u, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		return req, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.statusError(resp)
+	}
+	if got := resp.Header.Get("X-Avtmor-Rom-Key"); got != "" && got != digest {
+		// Client and server disagree on the canonical key: placement and
+		// caching would silently rot. Fail loudly.
+		return nil, fmt.Errorf("avtmorclient: server keyed the artifact %s, client computed %s — client/server request grammar drift", got, digest)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, c.maxResp+1))
+	if err != nil {
+		return nil, fmt.Errorf("avtmorclient: reading ROM: %w", err)
+	}
+	if int64(len(raw)) > c.maxResp {
+		return nil, fmt.Errorf("avtmorclient: ROM exceeds the %d-byte response bound", c.maxResp)
+	}
+	rom, err := avtmor.ReadROM(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("avtmorclient: parsing ROM: %w", err)
+	}
+	c.remember(digest, raw)
+	return &ReduceResult{Key: digest, Raw: raw, ROM: rom}, nil
+}
+
+// BatchItem is one per-input outcome of ReduceBatch, in input order.
+type BatchItem struct {
+	// Status carries the server's per-item HTTP-semantics status
+	// (200 OK; 400/422/429/503/504 otherwise).
+	Status int
+	// Key is the item's content address ("" when it did not parse).
+	Key string
+	// Raw is the ROM wire bytes on success, nil otherwise.
+	Raw []byte
+	// Err is the server's error text for non-200 items.
+	Err string
+}
+
+// OK reports whether the item succeeded.
+func (it *BatchItem) OK() bool { return it.Status == http.StatusOK }
+
+// ReduceBatch submits many bodies in one batch POST per ring owner and
+// returns per-item results in input order. Items that fail to parse
+// client-side are reported per-item (status 400) without touching the
+// wire, matching what the server would answer. Successful ROM bytes
+// prime the local GetROM cache.
+func (c *Client) ReduceBatch(ctx context.Context, bodies [][]byte, params url.Values) ([]BatchItem, error) {
+	if len(bodies) == 0 {
+		return nil, errors.New("avtmorclient: empty batch")
+	}
+	req, err := query.Parse(params)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchItem, len(bodies))
+	groups := map[string][]int{} // node → input indices
+	for i, body := range bodies {
+		sys, err := query.System(body)
+		if err != nil {
+			out[i] = BatchItem{Status: http.StatusBadRequest, Err: fmt.Sprintf("parsing system: %v", err)}
+			continue
+		}
+		digest := store.Digest(req.Key(sys))
+		out[i].Key = digest
+		node := c.Owner(digest)
+		groups[node] = append(groups[node], i)
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		groupErr error
+	)
+	for node, idxs := range groups {
+		wg.Add(1)
+		go func(node string, idxs []int) {
+			defer wg.Done()
+			sub := make([][]byte, len(idxs))
+			for j, i := range idxs {
+				sub[j] = bodies[i]
+			}
+			res, err := c.submitBatch(ctx, node, idxs, sub, params)
+			if err != nil {
+				errMu.Lock()
+				if groupErr == nil {
+					groupErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			for j, i := range idxs {
+				r := res[j]
+				it := BatchItem{Status: r.Status, Key: r.Key}
+				if r.OK() {
+					it.Raw = r.Body
+					c.remember(r.Key, r.Body)
+				} else {
+					it.Err = string(r.Body)
+				}
+				// Trust but verify the per-item key against the
+				// client-side computation, like Reduce does.
+				if out[i].Key != "" && r.Key != "" && r.Key != out[i].Key {
+					it = BatchItem{Status: 0, Key: out[i].Key, Err: fmt.Sprintf("server keyed item %s, client computed %s", r.Key, out[i].Key)}
+				}
+				out[i] = it
+			}
+		}(node, idxs)
+	}
+	wg.Wait()
+	if groupErr != nil {
+		return nil, groupErr
+	}
+	return out, nil
+}
+
+// submitBatch sends one owner's sub-batch, failing over like do.
+func (c *Client) submitBatch(ctx context.Context, node string, idxs []int, sub [][]byte, params url.Values) ([]wire.Result, error) {
+	var frame bytes.Buffer
+	if err := wire.WriteBatchRequest(&frame, sub); err != nil {
+		return nil, err
+	}
+	u := "/v1/reduce/batch"
+	if enc := params.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := c.doNodeFirst(ctx, node, func(n string) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+n+u, bytes.NewReader(frame.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", wire.BatchContentType)
+		return req, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.statusError(resp)
+	}
+	res, err := wire.ReadBatchResponse(resp.Body, c.maxResp)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) != len(sub) {
+		return nil, fmt.Errorf("avtmorclient: %d results for %d batch items", len(res), len(sub))
+	}
+	return res, nil
+}
+
+// GetROM fetches an artifact by content address. A locally cached copy
+// is revalidated with If-None-Match — content addressing makes the
+// digest a strong ETag, so a 304 answers from the cache without a body
+// on the wire. Seed the cache across processes with SeedCache.
+func (c *Client) GetROM(ctx context.Context, digest string) ([]byte, error) {
+	c.mu.Lock()
+	cached := c.cache[digest]
+	c.mu.Unlock()
+	resp, err := c.do(ctx, digest, func(node string) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+node+"/v1/roms/"+digest, nil)
+		if err != nil {
+			return nil, err
+		}
+		if cached != nil {
+			req.Header.Set("If-None-Match", `"`+digest+`"`)
+		}
+		return req, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		c.mu.Lock()
+		c.stats.Revalidated++
+		c.mu.Unlock()
+		return cached, nil
+	case http.StatusOK:
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, c.maxResp+1))
+		if err != nil {
+			return nil, fmt.Errorf("avtmorclient: reading ROM: %w", err)
+		}
+		if int64(len(raw)) > c.maxResp {
+			return nil, fmt.Errorf("avtmorclient: ROM exceeds the %d-byte response bound", c.maxResp)
+		}
+		c.remember(digest, raw)
+		return raw, nil
+	default:
+		return nil, c.statusError(resp)
+	}
+}
+
+// SeedCache primes the revalidation cache with an artifact obtained
+// elsewhere (a file from a previous run, say). The digest must be the
+// artifact's content address; a later GetROM then revalidates instead
+// of refetching.
+func (c *Client) SeedCache(digest string, raw []byte) {
+	c.remember(digest, raw)
+}
+
+func (c *Client) remember(digest string, raw []byte) {
+	c.mu.Lock()
+	c.cache[digest] = raw
+	c.mu.Unlock()
+}
+
+// digestOf runs the client-side copy of the server's request grammar:
+// parse the body, parse the params, compute the canonical key's
+// digest. This is what makes ring placement possible before any byte
+// hits the wire. The result is memoized on (params, body), so
+// resubmitting an identical request — polling one sweep point, warm
+// retry loops — places without re-parsing the netlist.
+func (c *Client) digestOf(body []byte, params url.Values) (string, error) {
+	memoKey := params.Encode() + "\x00" + string(body)
+	c.mu.Lock()
+	digest, ok := c.place[memoKey]
+	c.mu.Unlock()
+	if ok {
+		return digest, nil
+	}
+	sys, err := query.System(body)
+	if err != nil {
+		return "", err
+	}
+	req, err := query.Parse(params)
+	if err != nil {
+		return "", err
+	}
+	digest = store.Digest(req.Key(sys))
+	c.mu.Lock()
+	if len(c.place) >= placeMemoLimit {
+		clear(c.place)
+	}
+	c.place[memoKey] = digest
+	c.mu.Unlock()
+	return digest, nil
+}
+
+// do issues a request for digest, dialing the ring owner first and
+// failing over across the remaining nodes.
+func (c *Client) do(ctx context.Context, digest string, build func(node string) (*http.Request, error)) (*http.Response, error) {
+	return c.doCandidates(ctx, c.candidates(digest), build)
+}
+
+// doNodeFirst is do with an explicit first choice.
+func (c *Client) doNodeFirst(ctx context.Context, node string, build func(node string) (*http.Request, error)) (*http.Response, error) {
+	cands := make([]string, 0, len(c.nodes))
+	cands = append(cands, node)
+	for _, n := range c.nodes {
+		if n != node {
+			cands = append(cands, n)
+		}
+	}
+	return c.doCandidates(ctx, cands, build)
+}
+
+// doCandidates walks the candidate nodes: per node, up to maxRetries
+// attempts with jittered exponential backoff on retryable answers
+// (429/503, honoring Retry-After); a transport error moves to the next
+// node immediately. The first non-retryable response — success or a
+// definitive error — is returned as-is.
+func (c *Client) doCandidates(ctx context.Context, cands []string, build func(node string) (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for ci, node := range cands {
+		if ci > 0 {
+			c.mu.Lock()
+			c.stats.Failovers++
+			c.mu.Unlock()
+		}
+		for attempt := 0; ; attempt++ {
+			req, err := build(node)
+			if err != nil {
+				return nil, err
+			}
+			c.mu.Lock()
+			c.stats.Requests++
+			c.mu.Unlock()
+			resp, err := c.hc.Do(req)
+			if err != nil {
+				lastErr = err
+				break // next node
+			}
+			if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+				return resp, nil
+			}
+			lastErr = c.statusError(resp) // drains and closes the body
+			if attempt >= c.maxRetries {
+				break
+			}
+			if err := c.sleep(ctx, retryDelay(resp, c.backoff, attempt)); err != nil {
+				return nil, err
+			}
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+		}
+	}
+	return nil, fmt.Errorf("avtmorclient: all nodes failed: %w", lastErr)
+}
+
+// retryDelay picks the wait before a retry: the server's Retry-After
+// (seconds) when present, else jittered exponential backoff
+// (base·2^attempt ± 50%).
+func retryDelay(resp *http.Response, base time.Duration, attempt int) time.Duration {
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	d := base << attempt
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	// Full ±50% jitter decorrelates a thundering herd of retriers.
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// statusError turns a non-200 response into an error carrying the
+// server's plain-text message, draining and closing the body.
+func (c *Client) statusError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(msg))}
+}
+
+// StatusError is a non-200 answer from the fleet.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("avtmorclient: server answered %d: %s", e.Code, e.Message)
+}

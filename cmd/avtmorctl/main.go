@@ -1,0 +1,238 @@
+// Command avtmorctl is the thin CLI over avtmorclient: reduce
+// netlists against an avtmord fleet (ring-aware — each request dials
+// the key's owner directly), submit many inputs as one batch, and
+// fetch artifacts by content address with ETag revalidation against a
+// previously saved copy.
+//
+// Usage:
+//
+//	avtmorctl reduce -nodes HOST:PORT[,HOST:PORT...] [-q QUERY] [-o FILE] NETLIST
+//	avtmorctl batch  -nodes ... [-q QUERY] [-out DIR] NETLIST...
+//	avtmorctl get    -nodes ... [-o FILE] [-revalidate] DIGEST
+//
+// reduce prints the artifact's content address on stdout and writes
+// the ROM to -o when given. batch prints one line per item
+// ("<status> <digest> <bytes|error>") in input order and, with -out,
+// writes each successful ROM to DIR/<digest>.rom; it exits non-zero
+// if any item failed. get writes the ROM to -o (stdout by default);
+// with -revalidate and an existing -o file, the file's bytes seed the
+// client cache so an unchanged artifact answers 304 and the file is
+// left untouched ("revalidated" is printed to stderr).
+//
+// QUERY is the reduce query string, e.g. 'k1=4&k2=2&s0=0.4' — the
+// same parameters POST /v1/reduce accepts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"avtmor/avtmorclient"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "reduce":
+		err = cmdReduce(args)
+	case "batch":
+		err = cmdBatch(args)
+	case "get":
+		err = cmdGet(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "avtmorctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avtmorctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  avtmorctl reduce -nodes HOST:PORT[,...] [-q QUERY] [-o FILE] NETLIST
+  avtmorctl batch  -nodes HOST:PORT[,...] [-q QUERY] [-out DIR] NETLIST...
+  avtmorctl get    -nodes HOST:PORT[,...] [-o FILE] [-revalidate] DIGEST`)
+}
+
+// fleetFlags installs the flags every subcommand shares.
+func fleetFlags(fs *flag.FlagSet) (nodes, q *string, timeout *time.Duration) {
+	nodes = fs.String("nodes", "", "comma-separated fleet addresses (required)")
+	q = fs.String("q", "", "reduce query string, e.g. 'k1=4&k2=2&s0=0.4'")
+	timeout = fs.Duration("timeout", 5*time.Minute, "overall deadline")
+	return
+}
+
+func newClient(nodes string) (*avtmorclient.Client, error) {
+	if nodes == "" {
+		return nil, fmt.Errorf("-nodes is required")
+	}
+	var list []string
+	for _, n := range strings.Split(nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			list = append(list, n)
+		}
+	}
+	return avtmorclient.New(avtmorclient.Config{Nodes: list})
+}
+
+func parseQuery(q string) (url.Values, error) {
+	v, err := url.ParseQuery(q)
+	if err != nil {
+		return nil, fmt.Errorf("parsing -q: %w", err)
+	}
+	return v, nil
+}
+
+func cmdReduce(args []string) error {
+	fs := flag.NewFlagSet("reduce", flag.ExitOnError)
+	nodes, q, timeout := fleetFlags(fs)
+	out := fs.String("o", "", "write the ROM here (omitted: key only)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("reduce wants exactly one netlist file, got %d", fs.NArg())
+	}
+	body, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := newClient(*nodes)
+	if err != nil {
+		return err
+	}
+	params, err := parseQuery(*q)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := c.Reduce(ctx, body, params)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, res.Raw, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Println(res.Key)
+	return nil
+}
+
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	nodes, q, timeout := fleetFlags(fs)
+	out := fs.String("out", "", "write each successful ROM to DIR/<digest>.rom")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("batch wants one or more netlist files")
+	}
+	bodies := make([][]byte, fs.NArg())
+	for i, name := range fs.Args() {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+	c, err := newClient(*nodes)
+	if err != nil {
+		return err
+	}
+	params, err := parseQuery(*q)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	items, err := c.ReduceBatch(ctx, bodies, params)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, it := range items {
+		if it.OK() {
+			fmt.Printf("%d %s %d\n", it.Status, it.Key, len(it.Raw))
+			if *out != "" {
+				if err := os.WriteFile(filepath.Join(*out, it.Key+".rom"), it.Raw, 0o644); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		failed++
+		fmt.Printf("%d %s %s\n", it.Status, orDash(it.Key), it.Err)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d items failed", failed, len(items))
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func cmdGet(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	nodes, _, timeout := fleetFlags(fs)
+	out := fs.String("o", "", "write the ROM here (default stdout)")
+	reval := fs.Bool("revalidate", false, "seed the cache from an existing -o file and revalidate via ETag")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("get wants exactly one content address, got %d", fs.NArg())
+	}
+	digest := fs.Arg(0)
+	c, err := newClient(*nodes)
+	if err != nil {
+		return err
+	}
+	if *reval {
+		if *out == "" {
+			return fmt.Errorf("-revalidate needs -o pointing at the previously saved artifact")
+		}
+		if prev, err := os.ReadFile(*out); err == nil {
+			c.SeedCache(digest, prev)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	raw, err := c.GetROM(ctx, digest)
+	if err != nil {
+		return err
+	}
+	if c.Stats().Revalidated > 0 {
+		// The artifact is unchanged; the saved file already holds it.
+		fmt.Fprintln(os.Stderr, "revalidated")
+		return nil
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(*out, raw, 0o644)
+}

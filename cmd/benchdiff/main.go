@@ -34,17 +34,24 @@ import (
 
 // baseline is the subset of BENCH_solver.json the gate reads.
 type baseline struct {
-	Date     string             `json:"date"`
-	Go       string             `json:"go"`
-	CPU      string             `json:"cpu"`
-	CPUs     int                `json:"cpus"`
-	NsPerOp  map[string]float64 `json:"ns_per_op"`
-	Allocs   map[string]float64 `json:"allocs_per_op"`
-	Derived  map[string]float64 `json:"derived"`
-	Comment  string             `json:"comment"`
-	GOOS     string             `json:"goos"`
-	GOARCH   string             `json:"goarch"`
-	Preamble map[string]any     `json:"-"`
+	Date    string             `json:"date"`
+	Go      string             `json:"go"`
+	CPU     string             `json:"cpu"`
+	CPUs    int                `json:"cpus"`
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	Allocs  map[string]float64 `json:"allocs_per_op"`
+	// UngatedNs lists benchmarks whose ns/op is recorded for reference
+	// but excluded from the wall-clock gate (their allocs/op, if
+	// recorded, is still gated). Single hot TCP round trips belong
+	// here: they are latency-jitter bound and swing well past any
+	// useful threshold between identical runs on the baseline host,
+	// while their allocation counts are deterministic.
+	UngatedNs []string           `json:"ungated_ns"`
+	Derived   map[string]float64 `json:"derived"`
+	Comment   string             `json:"comment"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Preamble  map[string]any     `json:"-"`
 }
 
 // measurement is one parsed benchmark result line.
@@ -102,6 +109,7 @@ type finding struct {
 	measured, base      float64
 	ratio               float64 // measured / base
 	regressed, improved bool
+	ungated             bool // recorded for reference, never gated
 }
 
 // compare gates measurements against the baseline: a measurement
@@ -111,17 +119,23 @@ type finding struct {
 // level). Returns the findings plus the measured names missing from
 // the baseline.
 func compare(meas []measurement, base *baseline, threshold float64) (findings []finding, missing []string) {
+	ungated := map[string]bool{}
+	for _, name := range base.UngatedNs {
+		ungated[name] = true
+	}
 	for _, m := range meas {
 		bns, ok := base.NsPerOp[m.name]
 		if !ok {
 			missing = append(missing, m.name)
 			continue
 		}
-		f := finding{name: m.name, metric: "ns/op", measured: m.nsPerOp, base: bns}
+		f := finding{name: m.name, metric: "ns/op", measured: m.nsPerOp, base: bns, ungated: ungated[m.name]}
 		if bns > 0 {
 			f.ratio = m.nsPerOp / bns
-			f.regressed = f.ratio > 1+threshold
-			f.improved = f.ratio < 1-threshold
+			if !f.ungated {
+				f.regressed = f.ratio > 1+threshold
+				f.improved = f.ratio < 1-threshold
+			}
 		}
 		findings = append(findings, f)
 		if ba, ok := base.Allocs[m.name]; ok && m.hasAllocs {
@@ -210,6 +224,8 @@ func main() {
 	for _, f := range findings {
 		verdict := "ok"
 		switch {
+		case f.ungated:
+			verdict = "ungated (reference only)"
 		case f.regressed:
 			verdict = "REGRESSED"
 			regressions++

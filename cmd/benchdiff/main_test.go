@@ -145,3 +145,32 @@ func mustParse(t *testing.T, out string) []measurement {
 	}
 	return meas
 }
+
+func TestCompareUngatedNs(t *testing.T) {
+	base := sampleBaseline()
+	base.UngatedNs = []string{"BenchmarkReduceBlocked"}
+	meas := []measurement{
+		// 10x the recorded wall clock: far past the threshold, but the
+		// entry is ungated, so only its (regressed) allocs may fail.
+		{name: "BenchmarkReduceBlocked", nsPerOp: 22000000, allocs: 9000, hasAllocs: true},
+	}
+	findings, _ := compare(meas, base, 0.30)
+	if len(findings) != 2 {
+		t.Fatalf("%d findings, want 2: %+v", len(findings), findings)
+	}
+	for _, f := range findings {
+		switch f.metric {
+		case "ns/op":
+			if f.regressed || f.improved {
+				t.Fatalf("ungated ns/op was gated: %+v", f)
+			}
+			if !f.ungated {
+				t.Fatalf("ns/op finding not marked ungated: %+v", f)
+			}
+		case "allocs/op":
+			if !f.regressed {
+				t.Fatalf("allocs of an ungated-ns benchmark must stay gated: %+v", f)
+			}
+		}
+	}
+}

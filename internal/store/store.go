@@ -26,6 +26,8 @@ import (
 	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -50,6 +52,7 @@ type Store struct {
 	index       map[string]bool // digest → present
 	quarantined int64
 	loads, hits int64
+	rawOpens    int64
 }
 
 // Stats is a snapshot of the store's population and lifetime counters.
@@ -60,6 +63,10 @@ type Stats struct {
 	Quarantined int64
 	// Loads counts Load/Get calls; Hits the ones that returned a ROM.
 	Loads, Hits int64
+	// RawOpens counts OpenRaw calls that handed out a file for
+	// zero-copy serving — artifact bytes that left the store without a
+	// single parse.
+	RawOpens int64
 }
 
 // Digest returns the content address of a cache key: the hex SHA-256
@@ -195,7 +202,59 @@ func (s *Store) Has(digest string) bool {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{ROMs: len(s.index), Quarantined: s.quarantined, Loads: s.loads, Hits: s.hits}
+	return Stats{ROMs: len(s.index), Quarantined: s.quarantined, Loads: s.loads, Hits: s.hits, RawOpens: s.rawOpens}
+}
+
+// OpenRaw returns the stored artifact's open file and its FileInfo
+// (size, mtime) for zero-copy serving — http.ServeContent can hand the
+// file straight to the socket (sendfile-eligible) without the
+// parse + re-serialize round trip of Get. A miss, an invalid digest,
+// or a file that fails the magic sniff reports fs.ErrNotExist; the
+// caller owns closing the returned file.
+//
+// Only the 8-byte magic header is sniffed (then the offset is rewound
+// to 0): the scan at Open validated every indexed artifact in full,
+// writes are atomic, and Get quarantines on any later load failure, so
+// the sniff's job is catching a file truncated or zeroed behind the
+// store's back — which it also quarantines — not re-proving
+// wire-format integrity on every request. Deeper post-scan corruption
+// is caught by the client-side parse of the served bytes.
+func (s *Store) OpenRaw(digest string) (*os.File, os.FileInfo, error) {
+	s.mu.Lock()
+	s.rawOpens++
+	s.mu.Unlock()
+	if !validDigest(digest) {
+		return nil, nil, fs.ErrNotExist
+	}
+	name := digest + romExt
+	f, err := os.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.drop(digest)
+			return nil, nil, fs.ErrNotExist
+		}
+		return nil, nil, err
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || !avtmor.SniffROM(magic[:]) {
+		f.Close()
+		s.drop(digest)
+		s.quarantine(name)
+		return nil, nil, fs.ErrNotExist
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	s.index[digest] = true
+	s.mu.Unlock()
+	return f, fi, nil
 }
 
 // Load returns the ROM stored under the cache key, or (nil, nil) on a

@@ -3,6 +3,9 @@ package store_test
 import (
 	"bytes"
 	"context"
+	"errors"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"testing"
@@ -246,5 +249,102 @@ func TestStoreHas(t *testing.T) {
 	os.Remove(filepath.Join(dir, d2+".rom"))
 	if s.Has(d2) {
 		t.Fatal("unindexed deleted artifact claims presence")
+	}
+}
+
+// TestStoreOpenRaw: the zero-copy accessor hands out the exact stored
+// bytes with size/mtime and no parse, misses report fs.ErrNotExist,
+// and a file corrupted behind the store's back is quarantined at the
+// magic sniff instead of being served raw.
+func TestStoreOpenRaw(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom, key := testROM(t)
+	digest := store.Digest(key)
+
+	if _, _, err := s.OpenRaw(digest); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("empty-store OpenRaw err = %v, want fs.ErrNotExist", err)
+	}
+	if _, _, err := s.OpenRaw("not-a-digest"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("invalid-digest OpenRaw err = %v, want fs.ErrNotExist", err)
+	}
+	if err := s.Store(key, rom); err != nil {
+		t.Fatal(err)
+	}
+	want := romBytes(t, rom)
+
+	loadsBefore := s.Stats().Loads
+	f, fi, err := s.OpenRaw(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if fi.Size() != int64(len(want)) {
+		t.Fatalf("FileInfo size %d, want %d", fi.Size(), len(want))
+	}
+	if fi.ModTime().IsZero() {
+		t.Fatal("FileInfo carries no mtime")
+	}
+	got, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("OpenRaw bytes differ from the serialized artifact")
+	}
+	// Zero-copy means zero parses: the Loads counter must not move,
+	// while RawOpens records the raw serve.
+	st := s.Stats()
+	if st.Loads != loadsBefore {
+		t.Fatalf("OpenRaw bumped Loads (%d -> %d)", loadsBefore, st.Loads)
+	}
+	if st.RawOpens == 0 {
+		t.Fatal("RawOpens not counted")
+	}
+
+	// A sibling-written artifact (on disk, not in this index) is served
+	// raw too, like Has/Get pick it up.
+	sibling, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := avtmor.NTLCurrent(20)
+	opts2 := []avtmor.Option{avtmor.WithOrders(2, 1, 0), avtmor.WithExpansion(w2.S0)}
+	rom2, err := avtmor.Reduce(context.Background(), w2.System, opts2...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2 := avtmor.RequestKey(w2.System, opts2...)
+	if err := sibling.Store(key2, rom2); err != nil {
+		t.Fatal(err)
+	}
+	f2, _, err := s.OpenRaw(store.Digest(key2))
+	if err != nil {
+		t.Fatalf("sibling artifact invisible to OpenRaw: %v", err)
+	}
+	f2.Close()
+
+	// Corrupt the stored file's magic: OpenRaw must refuse, quarantine,
+	// and report absence so the caller falls back honestly.
+	path := filepath.Join(dir, digest+".rom")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.OpenRaw(digest); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("corrupt-file OpenRaw err = %v, want fs.ErrNotExist", err)
+	}
+	if q := s.Stats().Quarantined; q != 1 {
+		t.Fatalf("Quarantined = %d, want 1", q)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt file still in place after quarantine")
 	}
 }

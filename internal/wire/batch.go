@@ -1,0 +1,283 @@
+// Package wire holds the batch framing of the serving tier: the
+// length-prefixed multi-body request and multi-ROM response formats of
+// POST /v1/reduce/batch, shared by the serve package (decode request,
+// encode response) and the avtmorclient package (the mirror image).
+// The framing exists because one HTTP request per reduction makes the
+// wire the bottleneck for small artifacts — per-request routing,
+// framing, and queueing overhead swamps the payload work — so sweep
+// clients concatenate many inputs into one POST and the fleet answers
+// with one stream of per-item results.
+//
+// Batch request (Content-Type application/x-avtmor-batch):
+//
+//	magic   [8]byte  "AVTMBRQ\x00"
+//	version uint32   currently 1
+//	count   uint32   item count, 1..MaxBatchItems
+//	items   count ×  { length uint64 + body bytes }
+//
+// Each item body is exactly what POST /v1/reduce accepts: netlist text
+// or a serialized System (sniffed by magic). Reduction options apply
+// batch-wide via the usual query parameters.
+//
+// Batch response:
+//
+//	magic   [8]byte  "AVTMBRS\x00"
+//	version uint32   currently 1
+//	count   uint32   item count, equals the request's
+//	items   count ×  {
+//	          status uint32   HTTP status semantics per item
+//	          key    uint32 length + bytes   content address ("" on parse errors)
+//	          body   uint64 length + bytes   ROM wire bytes on 200, error text otherwise
+//	        }
+//
+// Results arrive in request order, so item k of the response answers
+// item k of the request. All integers are little-endian, matching the
+// ROM wire format. ROM bodies are the bit-exact WriteTo bytes — the
+// ROM format was designed to concatenate, and the per-item length
+// prefix makes the split explicit without read-ahead.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+)
+
+// MaxBatchItems bounds the item count of one batch request: large
+// enough for any realistic sweep chunk, small enough that a corrupted
+// count field cannot demand an absurd allocation.
+const MaxBatchItems = 4096
+
+// BatchContentType is the Content-Type of both batch frames.
+const BatchContentType = "application/x-avtmor-batch"
+
+const batchVersion = 1
+
+var (
+	reqMagic  = [8]byte{'A', 'V', 'T', 'M', 'B', 'R', 'Q', 0}
+	respMagic = [8]byte{'A', 'V', 'T', 'M', 'B', 'R', 'S', 0}
+)
+
+// ErrBadBatchMagic is returned when a stream does not start with the
+// expected batch magic (a foreign or corrupted body).
+var ErrBadBatchMagic = errors.New("wire: not a batch stream (bad magic header)")
+
+// Result is one per-item outcome of a batch reduce. Status carries
+// HTTP semantics (200 OK; 400/422/429/499/503/504 mirror the
+// single-request error taxonomy); Key is the artifact's content
+// address when the item parsed; Body holds the ROM wire bytes on
+// success and a plain-text error message otherwise.
+type Result struct {
+	Status int
+	Key    string
+	Body   []byte
+}
+
+// OK reports whether the item succeeded.
+func (r *Result) OK() bool { return r.Status == 200 }
+
+// WriteBatchRequest frames items into w.
+func WriteBatchRequest(w io.Writer, items [][]byte) error {
+	if len(items) == 0 {
+		return errors.New("wire: empty batch")
+	}
+	if len(items) > MaxBatchItems {
+		return fmt.Errorf("wire: %d items exceeds the batch limit of %d", len(items), MaxBatchItems)
+	}
+	bw := &batchWriter{w: w}
+	bw.write(reqMagic[:])
+	bw.u32(batchVersion)
+	bw.u32(uint32(len(items)))
+	for _, body := range items {
+		bw.u64(uint64(len(body)))
+		bw.write(body)
+	}
+	return bw.err
+}
+
+// ReadBatchRequest parses a frame written by WriteBatchRequest.
+// maxItem bounds each item's length (a server passes its body limit);
+// allocation grows in step with bytes that actually arrive, so a
+// corrupted length field fails with an error instead of a huge make.
+func ReadBatchRequest(r io.Reader, maxItem int64) ([][]byte, error) {
+	br := &batchReader{r: r}
+	if err := br.magic(reqMagic); err != nil {
+		return nil, err
+	}
+	n := br.count()
+	if br.err != nil {
+		return nil, br.err
+	}
+	items := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		body := br.blob(uint64(maxItem))
+		if br.err != nil {
+			return nil, fmt.Errorf("wire: batch item %d: %w", i, br.err)
+		}
+		items = append(items, body)
+	}
+	return items, nil
+}
+
+// WriteBatchResponse frames per-item results into w, in request order.
+func WriteBatchResponse(w io.Writer, results []Result) error {
+	bw := &batchWriter{w: w}
+	bw.write(respMagic[:])
+	bw.u32(batchVersion)
+	bw.u32(uint32(len(results)))
+	for i := range results {
+		res := &results[i]
+		bw.u32(uint32(res.Status))
+		bw.u32(uint32(len(res.Key)))
+		bw.write([]byte(res.Key))
+		bw.u64(uint64(len(res.Body)))
+		bw.write(res.Body)
+	}
+	return bw.err
+}
+
+// ReadBatchResponse parses a frame written by WriteBatchResponse.
+// maxItem bounds each ROM body's length.
+func ReadBatchResponse(r io.Reader, maxItem int64) ([]Result, error) {
+	br := &batchReader{r: r}
+	if err := br.magic(respMagic); err != nil {
+		return nil, err
+	}
+	n := br.count()
+	if br.err != nil {
+		return nil, br.err
+	}
+	results := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		status := br.u32()
+		keyLen := br.u32()
+		if br.err == nil && keyLen > 1<<10 {
+			br.err = fmt.Errorf("implausible key length %d", keyLen)
+		}
+		key := br.bytes(int(keyLen))
+		body := br.blob(uint64(maxItem))
+		if br.err != nil {
+			return nil, fmt.Errorf("wire: batch result %d: %w", i, br.err)
+		}
+		results = append(results, Result{Status: int(status), Key: string(key), Body: body})
+	}
+	return results, nil
+}
+
+type batchWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (bw *batchWriter) write(p []byte) {
+	if bw.err != nil {
+		return
+	}
+	_, bw.err = bw.w.Write(p)
+}
+
+func (bw *batchWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	bw.write(b[:])
+}
+
+func (bw *batchWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	bw.write(b[:])
+}
+
+type batchReader struct {
+	r   io.Reader
+	err error
+}
+
+func (br *batchReader) read(p []byte) {
+	if br.err != nil {
+		return
+	}
+	_, br.err = io.ReadFull(br.r, p)
+}
+
+func (br *batchReader) magic(want [8]byte) error {
+	var got [8]byte
+	br.read(got[:])
+	if br.err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBatchMagic, br.err)
+	}
+	if got != want {
+		return ErrBadBatchMagic
+	}
+	version := br.u32()
+	if br.err == nil && version != batchVersion {
+		br.err = fmt.Errorf("wire: unsupported batch version %d (this build speaks v%d)", version, batchVersion)
+	}
+	return br.err
+}
+
+func (br *batchReader) count() int {
+	n := br.u32()
+	if br.err == nil && (n == 0 || n > MaxBatchItems) {
+		br.err = fmt.Errorf("wire: batch item count %d outside 1..%d", n, MaxBatchItems)
+	}
+	return int(n)
+}
+
+func (br *batchReader) u32() uint32 {
+	var b [4]byte
+	br.read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (br *batchReader) u64() uint64 {
+	var b [8]byte
+	br.read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (br *batchReader) bytes(n int) []byte {
+	if br.err != nil || n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	br.read(b)
+	return b
+}
+
+// readAllocCap caps the upfront capacity of a length-prefixed blob,
+// mirroring the ROM reader: growth past it happens strictly in step
+// with bytes that actually arrived.
+const readAllocCap = 1 << 16
+
+// blob reads one uint64 length prefix and its payload, bounded by max.
+func (br *batchReader) blob(max uint64) []byte {
+	n := br.u64()
+	if br.err != nil {
+		return nil
+	}
+	if max > 0 && n > max {
+		br.err = fmt.Errorf("length %d exceeds the %d-byte limit", n, max)
+		return nil
+	}
+	c := n
+	if c > readAllocCap {
+		c = readAllocCap
+	}
+	// Read straight into the destination's tail — no scratch buffer, so
+	// a small blob (the common case: netlists and reduced-order ROMs)
+	// costs exactly one right-sized allocation.
+	dst := make([]byte, 0, c)
+	for uint64(len(dst)) < n {
+		k := int(min(n-uint64(len(dst)), readAllocCap))
+		off := len(dst)
+		dst = slices.Grow(dst, k)[:off+k]
+		br.read(dst[off:])
+		if br.err != nil {
+			return nil
+		}
+	}
+	return dst
+}

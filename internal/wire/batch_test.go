@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	items := [][]byte{
+		[]byte("R1 n1 0 2.0\n.out n1\n"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 3*readAllocCap+17), // forces chunked blob reads
+	}
+	var buf bytes.Buffer
+	if err := WriteBatchRequest(&buf, items); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBatchRequest(bytes.NewReader(buf.Bytes()), 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("round trip returned %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if !bytes.Equal(got[i], items[i]) {
+			t.Fatalf("item %d corrupted in round trip", i)
+		}
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	results := []Result{
+		{Status: 200, Key: strings.Repeat("ab", 32), Body: []byte("fake rom bytes")},
+		{Status: 400, Key: "", Body: []byte("parsing system: no such node")},
+		{Status: 429, Key: strings.Repeat("cd", 32), Body: []byte("worker pool saturated")},
+	}
+	var buf bytes.Buffer
+	if err := WriteBatchResponse(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBatchResponse(bytes.NewReader(buf.Bytes()), 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("%d results, want %d", len(got), len(results))
+	}
+	for i, r := range results {
+		g := got[i]
+		if g.Status != r.Status || g.Key != r.Key || !bytes.Equal(g.Body, r.Body) {
+			t.Fatalf("result %d: got %+v want %+v", i, g, r)
+		}
+	}
+	if got[0].OK() != true || got[1].OK() != false {
+		t.Fatal("OK() disagrees with status")
+	}
+}
+
+func TestBatchRequestLimits(t *testing.T) {
+	if err := WriteBatchRequest(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	big := make([][]byte, MaxBatchItems+1)
+	for i := range big {
+		big[i] = []byte("x")
+	}
+	if err := WriteBatchRequest(&bytes.Buffer{}, big); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	// An item above the reader's bound must be rejected, not allocated.
+	var buf bytes.Buffer
+	if err := WriteBatchRequest(&buf, [][]byte{bytes.Repeat([]byte("y"), 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBatchRequest(bytes.NewReader(buf.Bytes()), 10); err == nil {
+		t.Fatal("item above maxItem accepted")
+	}
+}
+
+func TestBatchCorruptStreams(t *testing.T) {
+	var good bytes.Buffer
+	if err := WriteBatchRequest(&good, [][]byte{[]byte("body")}); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign bytes: magic error, not a panic or garbage parse.
+	if _, err := ReadBatchRequest(strings.NewReader("GET / HTTP/1.1\r\n\r\n"), 1<<20); !errors.Is(err, ErrBadBatchMagic) {
+		t.Fatalf("foreign stream: %v, want ErrBadBatchMagic", err)
+	}
+	if _, err := ReadBatchResponse(bytes.NewReader(good.Bytes()), 1<<20); !errors.Is(err, ErrBadBatchMagic) {
+		t.Fatalf("request bytes read as response: %v, want ErrBadBatchMagic", err)
+	}
+	// Truncations at every boundary must error cleanly.
+	raw := good.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := ReadBatchRequest(bytes.NewReader(raw[:cut]), 1<<20); err == nil {
+			t.Fatalf("truncation at %d/%d bytes parsed successfully", cut, len(raw))
+		}
+	}
+	// A length field claiming far more than the stream holds fails with
+	// bounded allocation (the chunked blob reader stops at EOF).
+	bad := append([]byte{}, raw...)
+	bad[16] = 0xFF // low byte of the first item's u64 length
+	bad[17] = 0xFF
+	bad[18] = 0xFF
+	if _, err := ReadBatchRequest(bytes.NewReader(bad), 1<<30); err == nil {
+		t.Fatal("huge claimed length parsed successfully")
+	}
+	// Version drift is reported as such.
+	vbad := append([]byte{}, raw...)
+	vbad[8] = 99
+	if _, err := ReadBatchRequest(bytes.NewReader(vbad), 1<<20); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version: %v, want version error", err)
+	}
+}

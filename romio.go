@@ -327,6 +327,16 @@ func (cr *countingReader) csr() *sparse.CSR {
 	return c
 }
 
+// SniffROM reports whether b begins with the serialized-ROM magic
+// header (at least 8 bytes are needed; shorter prefixes report false).
+// It is the cheap wire-format sniff for callers that serve stored
+// artifacts without deserializing them — a positive sniff says "this
+// is a ROM stream", not "this stream is intact"; full validation is
+// ReadROM's job.
+func SniffROM(b []byte) bool {
+	return len(b) >= len(romMagic) && [8]byte(b[:8]) == romMagic
+}
+
 // ReadROM deserializes a ROM previously written by WriteTo.
 func ReadROM(r io.Reader) (*ROM, error) {
 	rom := &ROM{}

@@ -61,6 +61,10 @@ func newClusterState(cfg Config) (*clusterState, error) {
 	if !ring.Contains(self) {
 		return nil, fmt.Errorf("serve: Node %q is not in Peers %v", self, ring.Nodes())
 	}
+	headerTimeout := cfg.PeerHeaderTimeout
+	if headerTimeout <= 0 {
+		headerTimeout = 30 * time.Second
+	}
 	cs := &clusterState{
 		ring:  ring,
 		self:  self,
@@ -69,14 +73,19 @@ func newClusterState(cfg Config) (*clusterState, error) {
 			// No overall client timeout: the forwarded request carries
 			// the caller's context (and ?timeout= deadline). The dial
 			// timeout is what turns a dead owner into a fast local
-			// fallback instead of a hung entry node.
+			// fallback instead of a hung entry node, and the response
+			// header timeout does the same for an owner that accepts
+			// the connection but then wedges — without it a stalled
+			// peer pins the relay goroutine (and the caller) until the
+			// request deadline, if there is one at all.
 			Transport: &http.Transport{
 				DialContext: (&net.Dialer{
 					Timeout:   2 * time.Second,
 					KeepAlive: 30 * time.Second,
 				}).DialContext,
-				MaxIdleConnsPerHost: 16,
-				IdleConnTimeout:     90 * time.Second,
+				MaxIdleConnsPerHost:   16,
+				IdleConnTimeout:       90 * time.Second,
+				ResponseHeaderTimeout: headerTimeout,
 			},
 		},
 	}
@@ -163,7 +172,7 @@ func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, bod
 		return false
 	}
 	req.Header.Set(HeaderForwarded, cs.self)
-	for _, h := range []string{"Content-Type", "Accept"} {
+	for _, h := range []string{"Content-Type", "Accept", "If-None-Match", "If-Modified-Since"} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
 		}
@@ -182,7 +191,10 @@ func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, bod
 		pv.forwardErrors.Add(1)
 		return false
 	}
-	for _, h := range []string{"Content-Type", "X-Avtmor-Rom-Key", "X-Avtmor-Rom-Order", "Retry-After"} {
+	for _, h := range []string{
+		"Content-Type", "Content-Length", "ETag", "Last-Modified",
+		"X-Avtmor-Rom-Key", "X-Avtmor-Rom-Order", "Retry-After",
+	} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

@@ -13,10 +13,15 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"strings"
 	"testing"
 
 	"avtmor"
+	"avtmor/internal/cluster"
+	"avtmor/internal/query"
+	"avtmor/internal/store"
+	"avtmor/internal/wire"
 	"avtmor/serve"
 )
 
@@ -430,5 +435,106 @@ func BenchmarkServeClusterForward(b *testing.B) {
 			b.Fatal(err)
 		}
 		resp.Body.Close()
+	}
+}
+
+// TestClusterBatchMultiOwner: a batch whose keys span several ring
+// owners enters at one node, is split into per-owner sub-batches, and
+// every item is reduced exactly once on its owner — then sequential
+// submission of the same inputs through the *other* entry nodes yields
+// byte-identical ROMs under identical content addresses, proving the
+// batch and single-request paths interchangeable fleet-wide.
+func TestClusterBatchMultiOwner(t *testing.T) {
+	nodes := startCluster(t, 3)
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.addr
+	}
+	ring := cluster.New(addrs, 0)
+	params, err := url.ParseQuery("k1=2&k2=1&s0=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := query.Parse(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generate distinct circuits until the batch provably spans at
+	// least two owners (placement computed client-side, same ring).
+	var bodies [][]byte
+	ownedBy := map[string]int{} // node addr → item count
+	for i := 0; (len(bodies) < 6 || len(ownedBy) < 2) && i < 200; i++ {
+		body := []byte(fmt.Sprintf(clipperVar, 2.0+float64(i)*1e-3))
+		sys, err := query.System(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownedBy[ring.Owner(store.Digest(req.Key(sys)))]++
+		bodies = append(bodies, body)
+	}
+	if len(ownedBy) < 2 {
+		t.Fatalf("could not build a multi-owner batch over %v", addrs)
+	}
+	unique := len(bodies)
+	// A duplicate item rides along: same key, must coalesce, not
+	// double-reduce.
+	bodies = append(bodies, bodies[0])
+
+	var frame bytes.Buffer
+	if err := wire.WriteBatchRequest(&frame, bodies); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(nodes[0].url+"/v1/reduce/batch?k1=2&k2=1&s0=0.4", wire.BatchContentType, bytes.NewReader(frame.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch: %d: %s", resp.StatusCode, data)
+	}
+	results, err := wire.ReadBatchResponse(resp.Body, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(bodies) {
+		t.Fatalf("%d results for %d items", len(results), len(bodies))
+	}
+	for i, res := range results {
+		if !res.OK() {
+			t.Fatalf("item %d: %d %s", i, res.Status, res.Body)
+		}
+	}
+	if !bytes.Equal(results[len(results)-1].Body, results[0].Body) || results[len(results)-1].Key != results[0].Key {
+		t.Fatal("duplicate item diverged from its twin")
+	}
+
+	// Exactly one reduction per unique item, distributed to the owners
+	// the client-side ring predicted.
+	if total := totalReductions(t, nodes); total != float64(unique) {
+		t.Fatalf("fleet performed %v reductions for %d unique items", total, unique)
+	}
+	for _, n := range nodes {
+		got := num(t, metricsAny(t, n.url), "reductions")
+		if got != float64(ownedBy[n.addr]) {
+			t.Fatalf("node %s reduced %v items, ring owns %d", n.addr, got, ownedBy[n.addr])
+		}
+	}
+
+	// Sequential re-submission through the other entry nodes: identical
+	// addresses and bytes, zero fresh reductions.
+	for i := 0; i < unique; i++ {
+		entry := nodes[1+i%2]
+		seq, key := postReduce(t, entry.url, reducePath, string(bodies[i]))
+		if key != results[i].Key {
+			t.Fatalf("item %d: sequential key %s, batch key %s", i, key, results[i].Key)
+		}
+		if !bytes.Equal(seq, results[i].Body) {
+			t.Fatalf("item %d: sequential bytes differ from batch bytes", i)
+		}
+	}
+	if total := totalReductions(t, nodes); total != float64(unique) {
+		t.Fatalf("sequential follow-ups re-reduced: %v", total)
 	}
 }

@@ -6,13 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
-	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"avtmor"
+	"avtmor/internal/query"
 	"avtmor/internal/store"
 )
 
@@ -21,44 +22,33 @@ import (
 // streams the ROM artifact back. The response carries the artifact's
 // content address in X-Avtmor-Rom-Key for later GET/simulate calls.
 //
-// Query parameters (all optional):
-//
-//	k1,k2,k3     moment counts (WithOrders)
-//	auto         Hankel auto-order tolerance (WithAutoOrders); the
-//	             default when no k1/k2/k3 is given either
-//	s0           real expansion frequency, xp=f1,f2,… extra points
-//	droptol      deflation tolerance
-//	decoupledh2  1/true selects the Eq.-(18) Sylvester path
-//	solver       auto|dense|sparse
-//	parallel     1/true fans moment generation out over goroutines
-//	method       assoc (default) | norm
-//	timeout      per-request deadline (Go duration, e.g. 30s)
+// Query parameters are documented on query.Parse (k1/k2/k3, auto, s0,
+// xp, droptol, decoupledh2, solver, parallel, method, timeout).
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	s.reduceReqs.Add(1)
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	sys, err := parseSystemBody(body)
+	sys, err := query.System(body)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "parsing system: %v", err)
 		return
 	}
-	req, err := parseReduceQuery(r.URL.Query())
+	req, err := query.Parse(r.URL.Query())
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ctx := r.Context()
-	if req.timeout > 0 {
+	if req.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, req.timeout)
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
 		defer cancel()
 	}
-	key := avtmor.RequestKey(sys, req.opts...)
+	key := req.Key(sys)
 	reduce := s.reducer.Reduce
-	if req.norm {
-		key = avtmor.RequestKeyNORM(sys, req.opts...)
+	if req.Norm {
 		reduce = s.reducer.ReduceNORM
 	}
 	digest := store.Digest(key)
@@ -85,7 +75,7 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		rerr error
 	)
 	if err := s.run(ctx, func() {
-		rom, rerr = reduce(ctx, sys, req.opts...)
+		rom, rerr = reduce(ctx, sys, req.Opts...)
 	}); err != nil {
 		s.runError(w, err)
 		return
@@ -114,21 +104,66 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	return body, true
 }
 
-// writeROM streams an artifact with its content-address headers.
+// writeROM buffers an artifact and streams it with its content-address
+// headers. Buffering (ROMs are small — they are the *reduced* models)
+// buys an exact Content-Length on every response instead of a chunked
+// stream of whatever the serialization produced, and the digest doubles
+// as a strong ETag so clients can revalidate later GETs for free.
 func writeROM(w http.ResponseWriter, digest string, rom *avtmor.ROM) {
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("X-Avtmor-Rom-Key", digest)
-	w.Header().Set("X-Avtmor-Rom-Order", strconv.Itoa(rom.Order()))
-	rom.WriteTo(w)
+	var buf bytes.Buffer
+	if _, err := rom.WriteTo(&buf); err != nil {
+		http.Error(w, fmt.Sprintf("serializing ROM: %v", err), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	h.Set("ETag", `"`+digest+`"`)
+	h.Set("X-Avtmor-Rom-Key", digest)
+	h.Set("X-Avtmor-Rom-Order", strconv.Itoa(rom.Order()))
+	w.Write(buf.Bytes())
 }
 
-// handleGetROM streams a stored artifact by content address. On a
+// serveArtifact hands ROM bytes to http.ServeContent, which supplies
+// Content-Length, range support, and the If-None-Match → 304 dance
+// against the digest ETag. With an *os.File content the body copy is
+// sendfile-eligible — the artifact travels disk → socket without
+// touching user space, and without a single parse.
+func serveArtifact(w http.ResponseWriter, r *http.Request, digest string, mtime time.Time, content io.ReadSeeker) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("ETag", `"`+digest+`"`)
+	h.Set("X-Avtmor-Rom-Key", digest)
+	http.ServeContent(w, r, "", mtime, content)
+}
+
+// handleGetROM serves a stored artifact by content address. On a
 // clustered server, addresses owned by a peer are forwarded there
 // unless the artifact is already local; an unreachable owner degrades
 // to the local lookup (a miss is then the honest 404).
+//
+// With a store configured this is the zero-copy path: the store file
+// is served directly (store.OpenRaw), so a GET costs an open + stat +
+// sendfile instead of the old parse + re-serialize round trip, and an
+// If-None-Match revalidation costs no artifact I/O at all. A file that
+// fails the store's magic sniff is quarantined and reported 404 — the
+// client re-reduces, the fleet self-heals. X-Avtmor-Rom-Order is a
+// reduce-response header only; by-address GETs identify the artifact
+// by its address alone (the order is in the bytes the client parses).
 func (s *Server) handleGetROM(w http.ResponseWriter, r *http.Request) {
 	s.romGets.Add(1)
 	digest := r.PathValue("key")
+	if etagMatches(r.Header.Get("If-None-Match"), digest) {
+		// Content addressing makes revalidation free: the ETag *is* the
+		// content identity, so a client presenting the digest already
+		// holds the exact bytes. Answer 304 before routing — no peer
+		// hop, no file I/O, no parse.
+		h := w.Header()
+		h.Set("ETag", `"`+digest+`"`)
+		h.Set("X-Avtmor-Rom-Key", digest)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	if owner := s.route(r, digest); owner != "" {
 		switch {
 		case s.hasLocal(digest):
@@ -139,184 +174,69 @@ func (s *Server) handleGetROM(w http.ResponseWriter, r *http.Request) {
 			s.cluster.fallbackLocal.Add(1)
 		}
 	}
-	rom, err := s.lookup(digest)
-	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, "loading ROM: %v", err)
+	if s.st != nil {
+		f, fi, err := s.st.OpenRaw(digest)
+		if errors.Is(err, fs.ErrNotExist) {
+			s.httpError(w, http.StatusNotFound, "no ROM with key %s", digest)
+			return
+		}
+		if err != nil {
+			s.httpError(w, http.StatusInternalServerError, "opening ROM: %v", err)
+			return
+		}
+		defer f.Close()
+		serveArtifact(w, r, digest, fi.ModTime(), f)
 		return
 	}
+	// No persistence: serve the in-memory artifact through the same
+	// ServeContent path so ETag revalidation works identically.
+	s.mu.Lock()
+	rom := s.mem[digest]
+	s.mu.Unlock()
 	if rom == nil {
 		s.httpError(w, http.StatusNotFound, "no ROM with key %s", digest)
 		return
 	}
-	writeROM(w, digest, rom)
+	var buf bytes.Buffer
+	if _, err := rom.WriteTo(&buf); err != nil {
+		s.httpError(w, http.StatusInternalServerError, "serializing ROM: %v", err)
+		return
+	}
+	serveArtifact(w, r, digest, time.Time{}, bytes.NewReader(buf.Bytes()))
 }
 
-// opError maps engine failures of op ("reduction"/"simulation"):
+// etagMatches reports whether an If-None-Match header names the
+// artifact's digest ETag (strong or weak form, any list position).
+func etagMatches(inm, digest string) bool {
+	if inm == "" {
+		return false
+	}
+	want := `"` + digest + `"`
+	for _, part := range strings.Split(inm, ",") {
+		if strings.TrimPrefix(strings.TrimSpace(part), "W/") == want {
+			return true
+		}
+	}
+	return false
+}
+
+// opStatus maps engine failures of op ("reduction"/"simulation"):
 // context expiry → 504, anything else (singular expansion point,
 // order too large, diverged Newton, …) is the client's request
 // meeting this system → 422.
-func (s *Server) opError(w http.ResponseWriter, op string, err error) {
+func opStatus(op string, err error) (int, string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.httpError(w, http.StatusGatewayTimeout, "%s deadline exceeded", op)
+		return http.StatusGatewayTimeout, op + " deadline exceeded"
 	case errors.Is(err, context.Canceled):
-		s.httpError(w, 499, "client canceled")
+		return 499, "client canceled"
 	default:
-		s.httpError(w, http.StatusUnprocessableEntity, "%s failed: %v", op, err)
+		return http.StatusUnprocessableEntity, fmt.Sprintf("%s failed: %v", op, err)
 	}
 }
 
-// parseSystemBody sniffs the body format: serialized System bytes, or
-// netlist text for anything that does not carry the System magic.
-func parseSystemBody(body []byte) (*avtmor.System, error) {
-	if len(bytes.TrimSpace(body)) == 0 {
-		return nil, errors.New("empty body; POST a netlist or a serialized System")
-	}
-	sys, err := avtmor.ReadSystem(bytes.NewReader(body))
-	if err == nil {
-		return sys, nil
-	}
-	if !errors.Is(err, avtmor.ErrBadSystemMagic) {
-		// It was a System stream — just a broken one. Netlist parsing
-		// would only produce a misleading error.
-		return nil, err
-	}
-	return avtmor.ParseNetlist(bytes.NewReader(body))
+// opError answers an engine failure over HTTP.
+func (s *Server) opError(w http.ResponseWriter, op string, err error) {
+	code, msg := opStatus(op, err)
+	s.httpError(w, code, "%s", msg)
 }
-
-type reduceRequest struct {
-	opts    []avtmor.Option
-	norm    bool
-	timeout time.Duration
-}
-
-func parseReduceQuery(q url.Values) (*reduceRequest, error) {
-	req := &reduceRequest{}
-	getInt := func(name string) (int, bool, error) {
-		v := q.Get(name)
-		if v == "" {
-			return 0, false, nil
-		}
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			return 0, false, errf("parameter %s: %v", name, err)
-		}
-		return n, true, nil
-	}
-	getFloat := func(name string) (float64, bool, error) {
-		v := q.Get(name)
-		if v == "" {
-			return 0, false, nil
-		}
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return 0, false, errf("parameter %s: %v", name, err)
-		}
-		return f, true, nil
-	}
-	getBool := func(name string) (bool, error) {
-		switch v := q.Get(name); v {
-		case "", "0", "false":
-			return false, nil
-		case "1", "true":
-			return true, nil
-		default:
-			return false, errf("parameter %s: want 1/true or 0/false, got %q", name, v)
-		}
-	}
-
-	k1, hasK1, err := getInt("k1")
-	if err != nil {
-		return nil, err
-	}
-	k2, hasK2, err := getInt("k2")
-	if err != nil {
-		return nil, err
-	}
-	k3, hasK3, err := getInt("k3")
-	if err != nil {
-		return nil, err
-	}
-	hasK := hasK1 || hasK2 || hasK3
-	if k1 < 0 || k2 < 0 || k3 < 0 {
-		return nil, errf("moment counts must be non-negative, got k1=%d k2=%d k3=%d", k1, k2, k3)
-	}
-	auto, hasAuto, err := getFloat("auto")
-	if err != nil {
-		return nil, err
-	}
-	switch {
-	case hasAuto && hasK:
-		return nil, errf("auto and k1/k2/k3 are mutually exclusive")
-	case hasAuto:
-		req.opts = append(req.opts, avtmor.WithAutoOrders(auto))
-	case hasK:
-		if k1+k2+k3 == 0 {
-			return nil, errf("explicit orders need at least one positive count (or drop them for auto selection)")
-		}
-		req.opts = append(req.opts, avtmor.WithOrders(k1, k2, k3))
-	default:
-		// No order selection at all: pick them from the Hankel decay.
-		req.opts = append(req.opts, avtmor.WithAutoOrders(0))
-	}
-
-	s0, hasS0, err := getFloat("s0")
-	if err != nil {
-		return nil, err
-	}
-	var extra []float64
-	if xp := q.Get("xp"); xp != "" {
-		for _, part := range strings.Split(xp, ",") {
-			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil {
-				return nil, errf("parameter xp: %v", err)
-			}
-			extra = append(extra, f)
-		}
-	}
-	if hasS0 || len(extra) > 0 {
-		req.opts = append(req.opts, avtmor.WithExpansion(s0, extra...))
-	}
-
-	if tol, ok, err := getFloat("droptol"); err != nil {
-		return nil, err
-	} else if ok {
-		req.opts = append(req.opts, avtmor.WithDropTol(tol))
-	}
-	if dec, err := getBool("decoupledh2"); err != nil {
-		return nil, err
-	} else if dec {
-		req.opts = append(req.opts, avtmor.WithDecoupledH2())
-	}
-	if par, err := getBool("parallel"); err != nil {
-		return nil, err
-	} else if par {
-		req.opts = append(req.opts, avtmor.WithParallel())
-	}
-	switch v := q.Get("solver"); v {
-	case "", "auto":
-	case "dense":
-		req.opts = append(req.opts, avtmor.WithSolver(avtmor.SolverDense))
-	case "sparse":
-		req.opts = append(req.opts, avtmor.WithSolver(avtmor.SolverSparse))
-	default:
-		return nil, errf("parameter solver: want auto, dense, or sparse, got %q", v)
-	}
-	switch v := q.Get("method"); v {
-	case "", "assoc":
-	case "norm":
-		req.norm = true
-	default:
-		return nil, errf("parameter method: want assoc or norm, got %q", v)
-	}
-	if v := q.Get("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			return nil, errf("parameter timeout: want a positive Go duration, got %q", v)
-		}
-		req.timeout = d
-	}
-	return req, nil
-}
-
-func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

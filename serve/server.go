@@ -8,7 +8,8 @@
 // Endpoints (see DESIGN.md §5 for the full table):
 //
 //	POST /v1/reduce                  netlist or serialized-System body → ROM binary
-//	GET  /v1/roms/{key}              stored ROM binary by content address
+//	POST /v1/reduce/batch            many bodies in one batch frame → multi-ROM frame
+//	GET  /v1/roms/{key}              stored ROM binary by content address (ETag/304)
 //	POST /v1/roms/{key}/simulate     workload JSON → transient result JSON/CSV
 //	GET  /healthz                    liveness
 //	GET  /metrics                    expvar-style JSON counters
@@ -30,6 +31,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"avtmor"
 	"avtmor/internal/store"
@@ -66,6 +68,10 @@ type Config struct {
 	// single process. See DESIGN.md §7.
 	Node  string
 	Peers []string
+	// PeerHeaderTimeout bounds how long a forwarded request waits for
+	// the owner's response headers before the relay gives up and the
+	// entry node falls back to local service. Default 30s.
+	PeerHeaderTimeout time.Duration
 }
 
 // Server is the HTTP reduction service. Create with New, mount
@@ -90,6 +96,7 @@ type Server struct {
 
 	vars                          *expvar.Map
 	reduceReqs, simReqs, romGets  expvar.Int
+	batchReqs, batchItems         expvar.Int
 	rejected, clientErrs, srvErrs expvar.Int
 }
 
@@ -146,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/reduce", s.handleReduce)
+	mux.HandleFunc("POST /v1/reduce/batch", s.handleReduceBatch)
 	mux.HandleFunc("GET /v1/roms/{key}", s.handleGetROM)
 	mux.HandleFunc("POST /v1/roms/{key}/simulate", s.handleSimulate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -274,6 +282,8 @@ func (s *Server) initVars() {
 	m.Set("reduce_requests", &s.reduceReqs)
 	m.Set("simulate_requests", &s.simReqs)
 	m.Set("rom_gets", &s.romGets)
+	m.Set("batch_requests", &s.batchReqs)
+	m.Set("batch_items", &s.batchItems)
 	m.Set("rejected", &s.rejected)
 	m.Set("client_errors", &s.clientErrs)
 	m.Set("server_errors", &s.srvErrs)
@@ -308,6 +318,18 @@ func (s *Server) initVars() {
 		}
 		return s.st.Stats().Quarantined
 	})
+	gauge("store_loads", func() any {
+		if s.st == nil {
+			return 0
+		}
+		return s.st.Stats().Loads
+	})
+	gauge("store_raw_opens", func() any {
+		if s.st == nil {
+			return 0
+		}
+		return s.st.Stats().RawOpens
+	})
 	gauge("draining", func() any {
 		if s.draining.Load() {
 			return 1
@@ -334,8 +356,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, s.vars.String())
 }
 
-// httpError writes a plain-text error and counts it.
-func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// countError buckets a non-200 status into the error counters.
+func (s *Server) countError(code int) {
 	if code >= 500 {
 		s.srvErrs.Add(1)
 	} else if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
@@ -343,22 +365,36 @@ func (s *Server) httpError(w http.ResponseWriter, code int, format string, args 
 	} else {
 		s.clientErrs.Add(1)
 	}
+}
+
+// httpError writes a plain-text error and counts it.
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.countError(code)
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
-// runError maps pool/context failures to statuses: backpressure → 429,
-// shutdown → 503, deadline → 504, client gone → 499 (nginx's
-// convention; the client never sees it).
-func (s *Server) runError(w http.ResponseWriter, err error) {
+// poolStatus maps pool/context failures to statuses: backpressure →
+// 429, shutdown → 503, deadline → 504, client gone → 499 (nginx's
+// convention; the client never sees it). It is the one taxonomy both
+// the single-request and the per-item batch paths speak.
+func poolStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, errBusy):
-		w.Header().Set("Retry-After", "1")
-		s.httpError(w, http.StatusTooManyRequests, "worker pool saturated, retry later")
+		return http.StatusTooManyRequests, "worker pool saturated, retry later"
 	case errors.Is(err, errClosed):
-		s.httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return http.StatusServiceUnavailable, "shutting down"
 	case errors.Is(err, context.DeadlineExceeded):
-		s.httpError(w, http.StatusGatewayTimeout, "deadline exceeded")
+		return http.StatusGatewayTimeout, "deadline exceeded"
 	default:
-		s.httpError(w, 499, "client canceled")
+		return 499, "client canceled"
 	}
+}
+
+// runError answers a pool/context failure over HTTP.
+func (s *Server) runError(w http.ResponseWriter, err error) {
+	code, msg := poolStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.httpError(w, code, "%s", msg)
 }
