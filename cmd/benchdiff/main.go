@@ -18,6 +18,11 @@
 // hardware comparable to the baseline host (recorded in the baseline's
 // cpu/cpus fields, printed on every run); allocs/op is
 // machine-independent and gated with the same threshold.
+//
+// Benchmarks listed in the baseline's ungated_ns array have their
+// ns/op printed for reference but never gated — single hot TCP round
+// trips belong there, being latency-jitter bound — while their
+// allocs/op, if recorded, stays gated.
 package main
 
 import (
@@ -165,9 +170,40 @@ func compare(meas []measurement, base *baseline, threshold float64) (findings []
 	return findings, missing
 }
 
+// usage writes the command's help text, including the baseline fields
+// the gate interprets — in particular ungated_ns, whose absence from
+// the docs once cost a debugging session when a serve benchmark
+// "failed to gate".
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: benchdiff [-baseline BENCH_solver.json] [-threshold 0.30] [bench.out ...]
+
+Parses `+"`go test -bench`"+` output (stdin when no files are named) and
+compares every measured benchmark against the committed baseline,
+exiting nonzero on any ns/op or allocs/op regression beyond the
+threshold.
+
+Baseline fields the gate reads:
+  ns_per_op      gated wall-clock per benchmark
+  allocs_per_op  gated allocation count per benchmark
+  ungated_ns     list of benchmarks whose ns/op is printed for
+                 reference but never gated (single hot TCP round trips
+                 belong here: latency-jitter bound); their allocs/op,
+                 if recorded, is still gated
+  cpu, cpus      the baseline host, printed on every run: wall-clock
+                 verdicts are only as honest as the runner's
+                 resemblance to it
+
+Flags:
+`)
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_solver.json", "committed baseline JSON")
 	threshold := flag.Float64("threshold", 0.30, "allowed fractional regression (0.30 = +30%) for ns/op and allocs/op")
+	flag.Usage = func() {
+		usage(os.Stderr)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *threshold <= 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: -threshold must be positive")

@@ -146,6 +146,20 @@ func mustParse(t *testing.T, out string) []measurement {
 	return meas
 }
 
+// TestUsageDocumentsUngatedNs pins the help text to the baseline
+// schema: every field compare() interprets — ungated_ns above all,
+// since its effect (a benchmark that never fails the wall-clock gate)
+// is invisible without documentation — must appear in the usage output.
+func TestUsageDocumentsUngatedNs(t *testing.T) {
+	var buf strings.Builder
+	usage(&buf)
+	for _, field := range []string{"ungated_ns", "ns_per_op", "allocs_per_op"} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("usage text does not mention baseline field %q:\n%s", field, buf.String())
+		}
+	}
+}
+
 func TestCompareUngatedNs(t *testing.T) {
 	base := sampleBaseline()
 	base.UngatedNs = []string{"BenchmarkReduceBlocked"}

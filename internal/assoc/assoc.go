@@ -46,10 +46,10 @@ type Realization struct {
 	block int                  // SolveBatch width cap; 0 = batch everything
 
 	mu     sync.Mutex
-	s2     *kron.SumSolver2 // (⊕²G1 − σI)⁻¹ via Schur(G1), lazy
-	s2err  error
-	s2done bool
-	luCplx map[complex128]*lu.CLU
+	s2     *kron.SumSolver2       // guarded by mu; (⊕²G1 − σI)⁻¹ via Schur(G1), lazy
+	s2err  error                  // guarded by mu
+	s2done bool                   // guarded by mu
+	luCplx map[complex128]*lu.CLU // guarded by mu
 }
 
 // New prepares the realization with the auto-routed solver backend.

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CappedRead is the PR 6 16-EiB-prefix lesson as a lint: in the wire
+// tier (romio, systemio, internal/wire — scoping is applied by the
+// caller), a make whose size derives from a raw decoded integer must be
+// preceded by a bound check on that value. Otherwise one corrupted or
+// adversarial length prefix turns into an arbitrary upfront allocation.
+//
+// "Raw decoded" means the result of a u16/u32/u64 (or Uint16/32/64)
+// method call — the unvalidated wire readers. Self-clamping helpers
+// like romio's dim() or wire's count(), which reject implausible values
+// before returning, are the sanctioned idiom and do not taint. A taint
+// is cleared by any if-condition comparing the tainted variable (the
+// shape of romio's str() and wire's blob() guards); growth via append
+// or slices.Grow against bytes actually read is invisible to the
+// analyzer and always fine.
+var CappedRead = &Analyzer{
+	Name: "cappedread",
+	Doc:  "wire-tier makes sized by raw decoded lengths need a preceding bound check",
+	Run:  runCappedRead,
+}
+
+// rawDecodeNames are the method names whose results taint: unvalidated
+// fixed-width integer reads.
+var rawDecodeNames = map[string]bool{
+	"u16": true, "u32": true, "u64": true,
+	"Uint16": true, "Uint32": true, "Uint64": true,
+}
+
+func runCappedRead(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkCappedFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+type taintState struct {
+	tainted map[*types.Var]token.Pos // var -> position of the tainting decode
+	guarded map[*types.Var]token.Pos // var -> position of the clearing comparison
+}
+
+func checkCappedFunc(pass *Pass, fn *ast.FuncDecl) {
+	st := &taintState{
+		tainted: map[*types.Var]token.Pos{},
+		guarded: map[*types.Var]token.Pos{},
+	}
+	// ast.Inspect visits in source order, which is exactly the
+	// positional semantics the taint/guard bookkeeping needs.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.recordAssign(pass, n)
+		case *ast.IfStmt:
+			st.recordGuards(pass, n.Cond)
+		case *ast.CallExpr:
+			st.checkMake(pass, n)
+		}
+		return true
+	})
+}
+
+// recordAssign propagates taint through simple assignments: a raw
+// decode call (possibly inside a conversion) taints its target; copying
+// a tainted variable copies the taint and its guard state.
+func (st *taintState) recordAssign(pass *Pass, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		id, ok := n.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+		if !ok {
+			continue
+		}
+		switch src := taintSource(pass, st, rhs); src {
+		case taintRaw:
+			st.tainted[v] = rhs.Pos()
+			delete(st.guarded, v)
+		case taintCopyGuarded:
+			st.tainted[v] = rhs.Pos()
+			st.guarded[v] = rhs.Pos()
+		case taintNone:
+			// Reassignment from a clean source launders the variable.
+			delete(st.tainted, v)
+			delete(st.guarded, v)
+		}
+	}
+}
+
+type taintKind int
+
+const (
+	taintNone taintKind = iota
+	taintRaw
+	taintCopyGuarded
+)
+
+// taintSource classifies an RHS expression: a raw decode call, a copy
+// of a tainted variable (carrying its guard state), or clean.
+// Conversions unwrap; min/max results are bounded by construction.
+func taintSource(pass *Pass, st *taintState, e ast.Expr) taintKind {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.ObjectOf(e).(*types.Var); ok {
+			if _, ok := st.tainted[v]; ok {
+				if _, g := st.guarded[v]; g {
+					return taintCopyGuarded
+				}
+				return taintRaw
+			}
+		}
+		return taintNone
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass.TypesInfo, e); fn != nil {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil && rawDecodeNames[fn.Name()] {
+				return taintRaw
+			}
+			return taintNone
+		}
+		// Conversions like int(x) preserve the operand's taint; builtin
+		// min/max clamp and therefore clean it.
+		if id := calleeIdent(e); id != nil {
+			if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); ok {
+				if b.Name() == "min" || b.Name() == "max" {
+					return taintNone
+				}
+			}
+		}
+		if len(e.Args) == 1 && pass.TypesInfo.Types[e.Fun].IsType() {
+			return taintSource(pass, st, e.Args[0])
+		}
+		return taintNone
+	case *ast.BinaryExpr:
+		x, y := taintSource(pass, st, e.X), taintSource(pass, st, e.Y)
+		if x == taintRaw || y == taintRaw {
+			return taintRaw
+		}
+		if x == taintCopyGuarded || y == taintCopyGuarded {
+			return taintCopyGuarded
+		}
+		return taintNone
+	}
+	return taintNone
+}
+
+// recordGuards clears taint for every tainted variable compared inside
+// an if condition (recursing through && and ||).
+func (st *taintState) recordGuards(pass *Pass, cond ast.Expr) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch bin.Op {
+	case token.LAND, token.LOR:
+		st.recordGuards(pass, bin.X)
+		st.recordGuards(pass, bin.Y)
+		return
+	case token.GTR, token.LSS, token.GEQ, token.LEQ:
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+					if _, t := st.tainted[v]; t {
+						st.guarded[v] = bin.Pos()
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkMake flags make calls whose size or capacity mentions a tainted,
+// unguarded variable.
+func (st *taintState) checkMake(pass *Pass, call *ast.CallExpr) {
+	id := calleeIdent(call)
+	if id == nil {
+		return
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "make" {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			use, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.ObjectOf(use).(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, t := st.tainted[v]; !t {
+				return true
+			}
+			if _, g := st.guarded[v]; g {
+				return true
+			}
+			pass.Reportf(call.Pos(), "make sized by %s, a raw decoded length with no preceding bound check: cap it or read incrementally (an adversarial prefix controls this allocation)", use.Name)
+			return true
+		})
+	}
+}

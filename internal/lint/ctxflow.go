@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces cancellation threading: a function that receives a
+// context.Context parameter must pass a context to any callee that
+// offers a Ctx/Context sibling (FooCtx or FooContext with a leading
+// context.Context parameter, on the same type for methods or in the
+// same package for functions). This is the chain that keeps Reduce →
+// core → assoc → ShiftedCache → spLU abortable; dropping the context at
+// any hop silently turns cancellation into a no-op for everything
+// below.
+//
+// Only context parameters of the enclosing function trigger the check.
+// Types that store a context in a field (assoc.Realization binds one at
+// construction and polls it at loop tops by design) are out of scope:
+// their methods hold no parameter to forward.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "a function holding a ctx parameter must use the Ctx/Context variant of its callees",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxName := contextParam(pass, fn)
+			if ctxName == "" {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCtxCall(pass, call, ctxName)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// contextParam returns the name of fn's first usable context.Context
+// parameter, or "" when fn has none (unnamed and blank parameters
+// cannot be forwarded).
+func contextParam(pass *Pass, fn *ast.FuncDecl) string {
+	for _, field := range fn.Type.Params.List {
+		if !isContextType(pass.TypesInfo.Types[field.Type].Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func checkCtxCall(pass *Pass, call *ast.CallExpr, ctxName string) {
+	for _, arg := range call.Args {
+		if isContextType(pass.TypesInfo.Types[arg].Type) {
+			return // a context is already flowing into the call
+		}
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sibling := ctxSibling(fn)
+	if sibling == "" {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s drops %s: %s takes a context.Context", fn.Name(), ctxName, sibling)
+}
+
+// ctxSibling returns the name of fn's Ctx/Context variant (same method
+// set for methods, same package scope for functions, first parameter a
+// context.Context), or "".
+func ctxSibling(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	for _, suffix := range []string{"Ctx", "Context"} {
+		name := fn.Name() + suffix
+		if recv := sig.Recv(); recv != nil {
+			if method := lookupMethod(recv.Type(), name); takesLeadingContext(method) {
+				return name
+			}
+		} else if fn.Pkg() != nil {
+			obj, _ := fn.Pkg().Scope().Lookup(name).(*types.Func)
+			if takesLeadingContext(obj) {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+func lookupMethod(recv types.Type, name string) *types.Func {
+	ms := types.NewMethodSet(recv)
+	if _, isPtr := recv.(*types.Pointer); !isPtr && !types.IsInterface(recv) {
+		ms = types.NewMethodSet(types.NewPointer(recv))
+	}
+	for i := 0; i < ms.Len(); i++ {
+		if m := ms.At(i).Obj(); m.Name() == name {
+			fn, _ := m.(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+func takesLeadingContext(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

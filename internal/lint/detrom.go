@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetROM guards the bit-exactness contract: ROM bytes and cache keys
+// must be pure functions of their inputs, so the packages that produce
+// them (core, assoc, qldae, and the root package's romio/cache-key
+// code — scoping is applied by the caller) may not consult iteration
+// order, the clock, or a random source. Three patterns are flagged:
+//
+//   - `range` over a map, unless the loop only collects keys into a
+//     slice that is sorted later in the same function (the sanctioned
+//     collect-then-sort idiom);
+//   - time.Now — wall-clock observability near the numerics is
+//     legitimate but must carry an ignore directive stating that the
+//     value stays outside ROM bytes and cache keys;
+//   - importing math/rand or math/rand/v2 at all.
+var DetROM = &Analyzer{
+	Name: "detrom",
+	Doc:  "no map iteration order, wall clock, or randomness in determinism-critical packages",
+	Run:  runDetROM,
+}
+
+func runDetROM(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.Reportf(imp.Pos(), "import of %s in a determinism-critical package: ROM bytes and cache keys must not depend on randomness", imp.Path.Value)
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					checkMapRange(pass, fn, n)
+				case *ast.CallExpr:
+					if fn := calleeFunc(pass.TypesInfo, n); fn != nil && fn.Name() == "Now" &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+						pass.Reportf(n.Pos(), "time.Now in a determinism-critical package: keep the clock out of ROM bytes and cache keys (or justify with an ignore directive)")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags a range over a map unless it is the key-collection
+// half of the collect-then-sort idiom.
+func checkMapRange(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if sortedKeyCollection(pass, fn, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "range over map is iteration-order dependent in a determinism-critical package: collect the keys and sort them first")
+}
+
+// sortedKeyCollection recognizes
+//
+//	for k := range m { keys = append(keys, k) }
+//	...
+//	sort.Xxx(keys) / slices.Sort(keys)
+//
+// the loop must do nothing but append the key to one slice, and that
+// slice must flow into a sort call later in the same function.
+func sortedKeyCollection(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	if rng.Value != nil || rng.Key == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if id := calleeIdent(call); id == nil || id.Name != "append" {
+		return false
+	}
+	dstObj := pass.TypesInfo.ObjectOf(dst)
+	if dstObj == nil {
+		return false
+	}
+	return sortedAfter(pass, fn, dstObj, rng.End())
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
+// call after pos within fn.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found || len(call.Args) == 0 {
+			return true
+		}
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

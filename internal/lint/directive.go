@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//avtmorlint:ignore name[,name...] reason
+//
+// The directive silences the named analyzers on its own line and the
+// line below it (so it can ride at the end of the flagged line or on
+// the line above). A directive with no reason text is deliberately
+// inert: suppressions must say why the invariant does not apply.
+const ignorePrefix = "avtmorlint:ignore"
+
+// suppressed records, per file and line, which analyzers are silenced.
+type suppressed map[string]map[int]map[string]bool
+
+func (s suppressed) ignores(analyzer string, pos token.Position) bool {
+	return s[pos.Filename][pos.Line][analyzer]
+}
+
+// suppressions collects every ignore directive in files.
+func suppressions(fset *token.FileSet, files []*ast.File) suppressed {
+	out := suppressed{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				names, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				if names == "" || strings.TrimSpace(reason) == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					out[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(names, ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if lines[line] == nil {
+							lines[line] = map[string]bool{}
+						}
+						lines[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}

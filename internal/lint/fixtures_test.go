@@ -1,0 +1,53 @@
+package lint
+
+import "testing"
+
+// TestFixtures runs each analyzer over its fixture package under
+// testdata/src and checks the findings against the fixtures'
+// `// want "re"` expectations. Every fixture carries both positive
+// cases and the sanctioned negative idioms (deferred Put,
+// collect-then-sort map ranges, guarded wire reads, doc-declared
+// caller-holds locking) that must stay unflagged.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		pkg      string
+	}{
+		{CtxFlow, "ctxflow/a"},
+		{WsPool, "wspool/a"},
+		{DetROM, "detrom/a"},
+		{CappedRead, "cappedread/a"},
+		{LockedField, "lockedfield/a"},
+	}
+	for _, c := range cases {
+		t.Run(c.analyzer.Name, func(t *testing.T) {
+			issues, err := RunFixture(".", c.analyzer, c.pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, issue := range issues {
+				t.Error(issue)
+			}
+		})
+	}
+}
+
+// TestAllAnalyzers pins the wall's composition: a new analyzer must be
+// registered here (and in the scope table of cmd/avtmorlint) to ship.
+func TestAllAnalyzers(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if names[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"ctxflow", "wspool", "detrom", "cappedread", "lockedfield"} {
+		if !names[want] {
+			t.Fatalf("analyzer %q missing from All()", want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, typechecked package: the unit RunAnalyzers
+// operates on. Only non-test files are loaded — the analyzers guard
+// production invariants, and test files routinely (and legitimately)
+// drop contexts, leak fixtures, and range over maps.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// A Loader parses and typechecks packages without the go command's
+// build cache or any module downloads: module-internal imports resolve
+// against the module root by import-path prefix, fixture imports
+// against an optional testdata/src root, and everything else falls back
+// to the standard library's source importer (GOROOT only, so loading
+// works offline). Cgo is disabled so every package resolves to its
+// pure-Go file set.
+type Loader struct {
+	fset       *token.FileSet
+	std        types.ImporterFrom
+	ctxt       build.Context
+	modulePath string
+	moduleRoot string
+	// fixtureRoot, when set, resolves imports testdata-first — the
+	// analysistest convention where testdata/src/<path> shadows the
+	// world so fixtures can fake the packages they exercise.
+	fixtureRoot string
+	pkgs        map[string]*Package
+	loading     map[string]bool
+}
+
+// NewLoader returns a Loader for the module rooted at moduleRoot with
+// the given module path (the first `module` line of go.mod).
+// fixtureRoot is "" outside fixture tests.
+func NewLoader(moduleRoot, modulePath, fixtureRoot string) *Loader {
+	fset := token.NewFileSet()
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		fset:        fset,
+		std:         importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		ctxt:        ctxt,
+		modulePath:  modulePath,
+		moduleRoot:  moduleRoot,
+		fixtureRoot: fixtureRoot,
+		pkgs:        map[string]*Package{},
+		loading:     map[string]bool{},
+	}
+}
+
+// FindModule walks upward from dir to the enclosing go.mod and returns
+// the module root and module path.
+func FindModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadPatterns expands go-list patterns (relative to workDir, as the go
+// command would) and loads each resulting package. Patterns may name
+// directories under testdata explicitly — the go command only hides
+// them from wildcards.
+func (l *Loader) LoadPatterns(workDir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = workDir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.Output()
+	if err != nil {
+		detail := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			detail = ": " + strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("lint: go list %s%s", strings.Join(patterns, " "), detail)
+	}
+	var pkgs []*Package
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, dir, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and typechecks the package in dir, registering it
+// under importPath.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Sizes:    types.SizesFor("gc", l.ctxt.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader's resolution order (fixtures, module,
+// standard library) to the go/types importer interfaces.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.fixtureRoot != "" {
+		dir := filepath.Join(l.fixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			pkg, err := l.LoadDir(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	if rel, ok := l.moduleRel(path); ok {
+		pkg, err := l.LoadDir(filepath.Join(l.moduleRoot, filepath.FromSlash(rel)), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, 0)
+}
+
+func (l *Loader) moduleRel(path string) (string, bool) {
+	if l.modulePath == "" {
+		return "", false
+	}
+	if path == l.modulePath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}

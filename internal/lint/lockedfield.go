@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockedField enforces `// guarded by <mu>` field annotations: a struct
+// field carrying that comment (where <mu> names a sibling mutex field)
+// may only be selected in a function that has already taken the lock.
+// An access is considered locked when, earlier in the same function
+// (source order), the same base expression calls <mu>.Lock or
+// <mu>.RLock — `rd.mu.Lock()` before `rd.cache` — or when the
+// function's doc comment declares the caller-holds convention with
+// "holds <base>.<mu>" (the shape of Reducer.cacheAdd's "Caller holds
+// rd.mu.").
+//
+// The check is positional: it does not see Unlock, branches, or locks
+// taken by callers without the doc convention. That under-approximation
+// is the point — it keeps every access either provably near its lock or
+// explicitly documented.
+var LockedField = &Analyzer{
+	Name: "lockedfield",
+	Doc:  "fields annotated `guarded by <mu>` are only accessed with that mutex held",
+	Run:  runLockedField,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+var holdsRE = regexp.MustCompile(`holds (?:(\w+)\.)?(\w+)`)
+
+func runLockedField(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkLockedFunc(pass, fn, guards)
+			}
+		}
+	}
+	return nil
+}
+
+// collectGuards maps annotated field objects to the name of the mutex
+// field guarding them.
+func collectGuards(pass *Pass) map[*types.Var]string {
+	out := map[*types.Var]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := guardAnnotation(f)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(f.Pos(), "field is annotated `guarded by %s` but the struct has no field %s", mu, mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.ObjectOf(name).(*types.Var); ok {
+						out[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockEvent is one point after which "<base>.<mu>" is considered held.
+type lockEvent struct {
+	key string // rendered "<base>.<mu>"
+	pos token.Pos
+}
+
+func checkLockedFunc(pass *Pass, fn *ast.FuncDecl, guards map[*types.Var]string) {
+	var locks []lockEvent
+	// The caller-holds doc convention counts as a lock at body start.
+	if fn.Doc != nil {
+		for _, m := range holdsRE.FindAllStringSubmatch(fn.Doc.Text(), -1) {
+			key := m[2]
+			if m[1] != "" {
+				key = m[1] + "." + m[2]
+			}
+			locks = append(locks, lockEvent{key: key, pos: fn.Body.Pos()})
+		}
+	}
+	type access struct {
+		sel *ast.SelectorExpr
+		mu  string
+	}
+	var accesses []access
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if key, ok := lockCallKey(pass, sel); ok {
+			locks = append(locks, lockEvent{key: key, pos: sel.Pos()})
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		if mu, guarded := guards[v]; guarded {
+			accesses = append(accesses, access{sel: sel, mu: mu})
+		}
+		return true
+	})
+	for _, a := range accesses {
+		base := exprString(a.sel.X)
+		if base == "" {
+			continue
+		}
+		want := base + "." + a.mu
+		held := false
+		for _, l := range locks {
+			if l.pos < a.sel.Pos() && (l.key == want || l.key == a.mu) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			pass.Reportf(a.sel.Pos(), "%s is guarded by %s but accessed without a preceding %s.Lock in this function (take the lock, or document the caller-holds convention with `holds %s` in the doc comment)",
+				base+"."+a.sel.Sel.Name, a.mu, want, want)
+		}
+	}
+}
+
+// lockCallKey matches the selector of a <base>.<mu>.Lock / RLock call
+// and returns the rendered "<base>.<mu>".
+func lockCallKey(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+		return "", false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Only count mutex-typed receivers, so a field that happens to have
+	// a Lock method does not satisfy a guard by name collision.
+	t := pass.TypesInfo.Types[sel.X].Type
+	if t == nil || !strings.Contains(t.String(), "sync.") {
+		return "", false
+	}
+	key := exprString(inner)
+	if key == "" {
+		return "", false
+	}
+	return key, true
+}

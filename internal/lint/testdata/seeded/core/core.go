@@ -1,0 +1,14 @@
+// Package core seeds a detrom violation for the CI smoke test: the
+// lint wall must exit nonzero on this tree. Deliberately wrong — do
+// not fix. The directory is named core so it lands in detrom's
+// determinism-critical scope.
+package core
+
+// Sum folds map values in iteration order, which Go randomizes.
+func Sum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

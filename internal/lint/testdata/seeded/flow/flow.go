@@ -1,0 +1,17 @@
+// Package flow seeds a ctxflow violation for the CI smoke test: the
+// lint wall must exit nonzero on this tree. Deliberately wrong — do
+// not fix.
+package flow
+
+import "context"
+
+type fac struct{}
+
+func (fac) Solve(rhs []float64) {}
+
+func (fac) SolveCtx(ctx context.Context, rhs []float64) error { return nil }
+
+// Drop holds a context but calls the context-free Solve anyway.
+func Drop(ctx context.Context, f fac) {
+	f.Solve(nil)
+}

@@ -1,0 +1,16 @@
+// Package locked seeds a lockedfield violation for the CI smoke test:
+// the lint wall must exit nonzero on this tree. Deliberately wrong —
+// do not fix.
+package locked
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Bump increments the counter without taking the lock.
+func Bump(s *state) {
+	s.n++
+}

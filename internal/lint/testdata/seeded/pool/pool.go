@@ -1,0 +1,15 @@
+// Package pool seeds a wspool violation for the CI smoke test: the
+// lint wall must exit nonzero on this tree. Deliberately wrong — do
+// not fix. It imports the real mat package, so it also exercises the
+// loader's module-internal import path.
+package pool
+
+import "avtmor/internal/mat"
+
+// Leak borrows a pooled vector and hands it to the caller, stranding
+// it outside the pool.
+func Leak(n int) []float64 {
+	w := mat.GetVec(n)
+	w[0] = 1
+	return w
+}

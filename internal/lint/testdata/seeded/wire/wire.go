@@ -1,0 +1,15 @@
+// Package wire seeds a cappedread violation for the CI smoke test:
+// the lint wall must exit nonzero on this tree. Deliberately wrong —
+// do not fix. The directory is named wire so it lands in cappedread's
+// wire-tier scope.
+package wire
+
+type reader struct{}
+
+func (reader) u64() uint64 { return 1 << 60 }
+
+// Read allocates whatever length the wire claims.
+func Read(r reader) []byte {
+	n := r.u64()
+	return make([]byte, n)
+}

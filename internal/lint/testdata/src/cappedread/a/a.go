@@ -1,0 +1,64 @@
+// Package a exercises the cappedread analyzer: allocation sizes that
+// come straight off the wire must be bounds-checked (or clamped) first.
+package a
+
+type rd struct{}
+
+func (rd) u64() uint64 { return 0 }
+
+func (rd) u32() uint32 { return 0 }
+
+// dim is a self-clamping helper in the style of the ROM codec: its
+// result is already validated, so it does not taint.
+func (rd) dim() int { return 0 }
+
+func uncapped(r rd) []byte {
+	n := r.u64()
+	return make([]byte, n) // want "make sized by n, a raw decoded length"
+}
+
+func viaConv(r rd) []float64 {
+	n := int(r.u32())
+	out := make([]float64, n) // want "make sized by n, a raw decoded length"
+	return out
+}
+
+func viaCopy(r rd) []byte {
+	n := r.u64()
+	m := n
+	return make([]byte, m) // want "make sized by m, a raw decoded length"
+}
+
+func arith(r rd) []byte {
+	n := r.u32()
+	return make([]byte, int(n)*8) // want "make sized by n, a raw decoded length"
+}
+
+// guarded compares the decoded length against a bound before
+// allocating: the sanctioned idiom.
+func guarded(r rd, max uint64) []byte {
+	n := r.u64()
+	if n > max {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// viaMin clamps through the min builtin, which also sanitizes.
+func viaMin(r rd) []byte {
+	n := r.u64()
+	c := min(n, 1<<16)
+	return make([]byte, c)
+}
+
+// validatedHelper sizes from a self-clamping decoder helper, not a raw
+// integer read.
+func validatedHelper(r rd) []int {
+	n := r.dim()
+	return make([]int, n)
+}
+
+// paramSized allocates from an ordinary parameter: not wire-tainted.
+func paramSized(n int) []byte {
+	return make([]byte, n)
+}

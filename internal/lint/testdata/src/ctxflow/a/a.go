@@ -1,0 +1,57 @@
+// Package a exercises the ctxflow analyzer: inside a function that
+// receives a context, calls must prefer a Ctx/Context-suffixed sibling
+// when one exists.
+package a
+
+import "context"
+
+type fac struct{}
+
+func (fac) Solve(rhs []float64) {}
+
+func (fac) SolveCtx(ctx context.Context, rhs []float64) error { return nil }
+
+func (*fac) Reduce(n int) {}
+
+func (*fac) ReduceContext(ctx context.Context, n int) {}
+
+func run(x int) {}
+
+func runContext(ctx context.Context, x int) {}
+
+func noSibling(x int) {}
+
+func drops(ctx context.Context, f fac) {
+	f.Solve(nil) // want "call to Solve drops ctx: SolveCtx takes a context.Context"
+	f.Reduce(1)  // want "call to Reduce drops ctx: ReduceContext takes a context.Context"
+	run(1)       // want "call to run drops ctx: runContext takes a context.Context"
+	noSibling(2) // no sibling: nothing to prefer
+}
+
+func forwards(ctx context.Context, f fac) {
+	_ = f.SolveCtx(ctx, nil)
+	f.ReduceContext(ctx, 1)
+	runContext(ctx, 1)
+}
+
+// noCtx has no context parameter, so there is nothing to drop.
+func noCtx(f fac) {
+	f.Solve(nil)
+	run(1)
+}
+
+// blankCtx cannot forward its context: the parameter is unnamed.
+func blankCtx(_ context.Context, f fac) {
+	f.Solve(nil)
+	run(1)
+}
+
+func justified(ctx context.Context, f fac) {
+	//avtmorlint:ignore ctxflow this solve is a sub-microsecond 2x2 and the ctx plumbing would dominate it
+	f.Solve(nil)
+}
+
+func badDirective(ctx context.Context, f fac) {
+	//avtmorlint:ignore ctxflow
+	f.Solve(nil) // want "call to Solve drops ctx: SolveCtx takes a context.Context"
+}

@@ -1,0 +1,47 @@
+// Package a exercises the detrom analyzer: determinism-critical code
+// must not range over maps without sorting, read the wall clock, or
+// import randomness.
+package a
+
+import (
+	"sort"
+	"time"
+)
+
+func mapRange(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "range over map"
+		s += v
+	}
+	return s
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom: a key-only
+// range whose sole statement appends to a slice that is sorted before
+// use.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsorted collects keys but never sorts them, so the collected order
+// still leaks map iteration order.
+func unsorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a determinism-critical package"
+}
+
+func justified() time.Time {
+	return time.Now() //avtmorlint:ignore detrom observability only; never feeds ROM bytes or cache keys
+}

@@ -1,0 +1,5 @@
+package a
+
+import "math/rand" // want "import of \"math/rand\""
+
+func roll() int { return rand.Intn(6) }

@@ -1,0 +1,60 @@
+// Package a exercises the lockedfield analyzer: fields annotated
+// `guarded by <mu>` must be touched under that lock, or from a
+// function whose doc declares the caller-holds convention.
+package a
+
+import "sync"
+
+type pool struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	hits  int            // guarded by mu
+	limit int
+}
+
+func (p *pool) get(k string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits++
+	return p.items[k]
+}
+
+func (p *pool) bad(k string) int {
+	return p.items[k] // want "items is guarded by mu but accessed without a preceding"
+}
+
+func (p *pool) bump() {
+	p.hits++ // want "hits is guarded by mu but accessed without a preceding"
+	p.mu.Lock()
+	p.hits++
+	p.mu.Unlock()
+}
+
+// flush drains the table. Caller holds p.mu.
+func (p *pool) flush() {
+	p.items = map[string]int{}
+}
+
+func (p *pool) size() int {
+	n := p.limit // limit is immutable after construction: unannotated
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return n + len(p.items)
+}
+
+type stats struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+// read may take the read lock: RLock satisfies the guard.
+func (s *stats) read() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+type broken struct {
+	// guarded by lock
+	data int // want "annotated .guarded by lock. but the struct has no field lock"
+}

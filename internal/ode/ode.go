@@ -28,11 +28,13 @@ type Input func(t float64) []float64
 // allocating per step.
 type workspace struct{ bufs [][]float64 }
 
-// vec borrows a length-n scratch vector for the integration.
+// vec borrows a length-n scratch vector for the integration. The
+// buffer deliberately outlives this function: the workspace tracks it
+// until release() hands it back to the pool.
 func (w *workspace) vec(n int) []float64 {
 	b := mat.GetVec(n)
-	w.bufs = append(w.bufs, b)
-	return b
+	w.bufs = append(w.bufs, b) //avtmorlint:ignore wspool the workspace owns b until release() returns it to the pool
+	return b                   //avtmorlint:ignore wspool callers borrow through the workspace, which releases on integrator exit
 }
 
 // release returns every borrowed vector to the pool.
@@ -343,7 +345,12 @@ func TrapezoidalSolverCtx(ctx context.Context, sys *qldae.System, x0 []float64, 
 					return nil, fmt.Errorf("ode: Newton Jacobian singular at t=%g: %w", t, err)
 				}
 			}
-			fac.SolveBatch(newton)
+			// The Newton correction must stay abortable: SolveBatch would
+			// strand a cancellation until the next step boundary on large
+			// systems (the back-solve is O(n²) per iteration).
+			if err := fac.SolveBatchCtx(ctx, newton); err != nil {
+				return nil, err
+			}
 			mat.Axpy(-1, g, xn)
 			if mat.NormInf(g) <= 1e-10*scale {
 				converged = true

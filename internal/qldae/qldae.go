@@ -10,6 +10,7 @@ package qldae
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"avtmor/internal/lu"
 	"avtmor/internal/mat"
@@ -149,10 +150,19 @@ func solveCSR(f *lu.LU, m *sparse.CSR) *sparse.CSR {
 		batch = batch[:0]
 		colIDs = colIDs[:0]
 	}
-	for c, es := range colEntries {
+	// Iterate columns in sorted order: map iteration order would vary
+	// run to run, and while the builder re-sorts its entries, the batch
+	// grouping (and thus the floating-point accumulation pattern of any
+	// future batched kernel) must not depend on the scheduler.
+	cols := make([]int, 0, len(colEntries))
+	for c := range colEntries {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	for _, c := range cols {
 		col := mat.GetVec(n)
 		mat.Zero(col)
-		for _, e := range es {
+		for _, e := range colEntries[c] {
 			col[e.Row] += e.Val
 		}
 		batch = append(batch, col)
@@ -162,6 +172,7 @@ func solveCSR(f *lu.LU, m *sparse.CSR) *sparse.CSR {
 		}
 	}
 	flush()
+	//avtmorlint:ignore wspool every col is released by flush above: ownership moves into the batch at append time
 	return b.Build()
 }
 

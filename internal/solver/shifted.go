@@ -34,7 +34,7 @@ type ShiftedCache struct {
 	batchColumns   atomic.Int64 // total RHS columns across those calls
 
 	mu      sync.Mutex
-	entries map[float64]*shiftEntry
+	entries map[float64]*shiftEntry // guarded by mu
 }
 
 // shiftEntry is one singleflight slot: done closes when the leader's

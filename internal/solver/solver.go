@@ -66,8 +66,8 @@ type Factorization interface {
 // to the representation fields is mutex-guarded.
 type Matrix struct {
 	mu    sync.Mutex
-	dense *mat.Dense
-	csr   *sparse.CSR
+	dense *mat.Dense  // guarded by mu
+	csr   *sparse.CSR // guarded by mu
 }
 
 // FromDense wraps a dense operand.

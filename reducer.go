@@ -27,13 +27,13 @@ import (
 // next request recomputes.
 type Reducer struct {
 	mu       sync.Mutex
-	cache    map[string]*list.Element // key → entry in lru
-	lru      *list.List               // of *cacheEntry; front = most recently used
+	cache    map[string]*list.Element // guarded by mu; key → entry in lru
+	lru      *list.List               // guarded by mu; of *cacheEntry; front = most recently used
 	limit    int                      // > 0 bounds len(cache)
 	store    ROMStore
-	inflight map[string]*flight
+	inflight map[string]*flight // guarded by mu
 
-	stats ReducerStats
+	stats ReducerStats // guarded by mu
 }
 
 type cacheEntry struct {
@@ -189,7 +189,9 @@ func (rd *Reducer) Lookup(key string) (*ROM, error) {
 	}
 	rom, err := st.Load(key)
 	if err != nil {
-		rd.count(&rd.stats.StoreErrors)
+		rd.mu.Lock()
+		rd.stats.StoreErrors++
+		rd.mu.Unlock()
 		return nil, err
 	}
 	if rom == nil {
@@ -306,14 +308,21 @@ func (rd *Reducer) fill(ctx context.Context, sys *System, method string, cfg *co
 	if rd.store != nil {
 		switch rom, err := rd.store.Load(key); {
 		case err != nil:
-			rd.count(&rd.stats.StoreErrors) // fall through to a fresh reduction
+			// Fall through to a fresh reduction.
+			rd.mu.Lock()
+			rd.stats.StoreErrors++
+			rd.mu.Unlock()
 		case rom != nil:
 			rom.shared = true
-			rd.count(&rd.stats.StoreHits)
+			rd.mu.Lock()
+			rd.stats.StoreHits++
+			rd.mu.Unlock()
 			return rom, nil
 		}
 	}
-	rd.count(&rd.stats.Reductions)
+	rd.mu.Lock()
+	rd.stats.Reductions++
+	rd.mu.Unlock()
 	rom, err := reduceWith(ctx, sys, method, cfg)
 	if err != nil {
 		return nil, err
@@ -336,14 +345,10 @@ func (rd *Reducer) ensureStored(key string, rom *ROM) {
 		return
 	}
 	if err := rd.store.Store(key, rom); err != nil {
-		rd.count(&rd.stats.StoreErrors)
+		rd.mu.Lock()
+		rd.stats.StoreErrors++
+		rd.mu.Unlock()
 	}
-}
-
-func (rd *Reducer) count(c *int64) {
-	rd.mu.Lock()
-	*c++
-	rd.mu.Unlock()
 }
 
 // cacheAdd inserts (key, rom) as most recently used and evicts from

@@ -82,8 +82,8 @@ type Server struct {
 	st      *store.Store // nil when persistence is disabled
 
 	mu       sync.Mutex
-	mem      map[string]*avtmor.ROM // digest → artifact, when st == nil
-	memOrder []string               // insertion order, for CacheLimit trimming
+	mem      map[string]*avtmor.ROM // guarded by mu; digest → artifact, when st == nil
+	memOrder []string               // guarded by mu; insertion order, for CacheLimit trimming
 
 	queue    chan func()
 	closed   chan struct{}
