@@ -12,7 +12,11 @@ import (
 // same package for functions). This is the chain that keeps Reduce →
 // core → assoc → ShiftedCache → spLU abortable; dropping the context at
 // any hop silently turns cancellation into a no-op for everything
-// below.
+// below. Passing a freshly minted root — context.Background() or
+// context.TODO() as a literal argument — severs the chain just the
+// same, so it is flagged too; a deliberate detach (a singleflight
+// that must outlive any one waiter, say) carries an ignore directive
+// stating why.
 //
 // Only context parameters of the enclosing function trigger the check.
 // Types that store a context in a field (assoc.Realization binds one at
@@ -67,9 +71,16 @@ func contextParam(pass *Pass, fn *ast.FuncDecl) string {
 
 func checkCtxCall(pass *Pass, call *ast.CallExpr, ctxName string) {
 	for _, arg := range call.Args {
-		if isContextType(pass.TypesInfo.Types[arg].Type) {
-			return // a context is already flowing into the call
+		if !isContextType(pass.TypesInfo.Types[arg].Type) {
+			continue
 		}
+		// A context flows into the call — but a root minted in place
+		// severs the caller's cancellation exactly like dropping ctx,
+		// so Background/TODO literals do not satisfy the invariant.
+		if root := freshRootContext(pass.TypesInfo, arg); root != "" {
+			pass.Reportf(arg.Pos(), "%s severs %s: pass %s (or a context derived from it), or justify the detach with an ignore directive", root, ctxName, ctxName)
+		}
+		return
 	}
 	fn := calleeFunc(pass.TypesInfo, call)
 	if fn == nil {
@@ -80,6 +91,21 @@ func checkCtxCall(pass *Pass, call *ast.CallExpr, ctxName string) {
 		return
 	}
 	pass.Reportf(call.Pos(), "call to %s drops %s: %s takes a context.Context", fn.Name(), ctxName, sibling)
+}
+
+// freshRootContext matches a literal context.Background() / context.TODO()
+// call and returns its rendered form, or "".
+func freshRootContext(info *types.Info, arg ast.Expr) string {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	for _, name := range []string{"Background", "TODO"} {
+		if isPkgFunc(calleeFunc(info, call), "context", name) {
+			return "context." + name + "()"
+		}
+	}
+	return ""
 }
 
 // ctxSibling returns the name of fn's Ctx/Context variant (same method

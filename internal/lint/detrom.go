@@ -105,8 +105,22 @@ func sortedKeyCollection(pass *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) bool 
 	return sortedAfter(pass, fn, dstObj, rng.End())
 }
 
-// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
-// call after pos within fn.
+// sortingFuncs is the closed set of calls that actually impose an
+// order. Anything else from those packages (slices.Reverse,
+// slices.Contains, sort.Search, ...) leaves the collected keys in map
+// iteration order and must not sanction the range.
+var sortingFuncs = map[string]map[string]bool{
+	"sort": {
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Ints": true, "Strings": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether obj is passed to a genuine sorting call
+// (sortingFuncs) after pos within fn.
 func sortedAfter(pass *Pass, fn *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
 	found := false
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -118,7 +132,7 @@ func sortedAfter(pass *Pass, fn *ast.FuncDecl, obj types.Object, pos token.Pos) 
 		if callee == nil || callee.Pkg() == nil {
 			return true
 		}
-		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+		if !sortingFuncs[callee.Pkg().Path()][callee.Name()] {
 			return true
 		}
 		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {

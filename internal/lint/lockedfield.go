@@ -5,7 +5,6 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"strings"
 )
 
 // LockedField enforces `// guarded by <mu>` field annotations: a struct
@@ -172,8 +171,7 @@ func lockCallKey(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
 	}
 	// Only count mutex-typed receivers, so a field that happens to have
 	// a Lock method does not satisfy a guard by name collision.
-	t := pass.TypesInfo.Types[sel.X].Type
-	if t == nil || !strings.Contains(t.String(), "sync.") {
+	if !isSyncMutex(pass.TypesInfo.Types[sel.X].Type) {
 		return "", false
 	}
 	key := exprString(inner)
@@ -181,4 +179,24 @@ func lockCallKey(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
 		return "", false
 	}
 	return key, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer), resolved by package path rather than printed name
+// so a foosync.Fake with a Lock method cannot satisfy a guard. As with
+// isPkgFunc, a fixture fake whose path ends in "/sync" stands in for
+// the real package.
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return false
+	}
+	return obj.Pkg() != nil && pathMatches(obj.Pkg().Path(), "sync")
 }

@@ -46,6 +46,28 @@ func blankCtx(_ context.Context, f fac) {
 	run(1)
 }
 
+// severs mints fresh roots instead of forwarding ctx: the callee gets
+// a context, but not the caller's — cancellation is cut exactly as if
+// ctx had been dropped.
+func severs(ctx context.Context, f fac) {
+	_ = f.SolveCtx(context.Background(), nil) // want "context.Background.. severs ctx"
+	runContext(context.TODO(), 1)             // want "context.TODO.. severs ctx"
+	runContext((context.Background()), 1)     // want "context.Background.. severs ctx"
+}
+
+// derived contexts keep the chain: only literal roots are flagged.
+func derives(ctx context.Context, f fac) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = f.SolveCtx(c, nil)
+	runContext(ctx, 1)
+}
+
+func detachJustified(ctx context.Context, f fac) {
+	//avtmorlint:ignore ctxflow this solve outlives the request on purpose
+	_ = f.SolveCtx(context.Background(), nil)
+}
+
 func justified(ctx context.Context, f fac) {
 	//avtmorlint:ignore ctxflow this solve is a sub-microsecond 2x2 and the ctx plumbing would dominate it
 	f.Solve(nil)

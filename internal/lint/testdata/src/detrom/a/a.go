@@ -4,6 +4,7 @@
 package a
 
 import (
+	"slices"
 	"sort"
 	"time"
 )
@@ -35,6 +36,28 @@ func unsorted(m map[string]int) []string {
 	for k := range m { // want "range over map"
 		keys = append(keys, k)
 	}
+	return keys
+}
+
+// sortedSlices is the same idiom through the slices package.
+func sortedSlices(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// reversed hands the keys to the slices package without sorting them:
+// Reverse (like Contains or Search) imposes no order, so the collected
+// slice still leaks map iteration order.
+func reversed(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	slices.Reverse(keys)
 	return keys
 }
 

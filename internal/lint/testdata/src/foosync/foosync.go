@@ -1,0 +1,10 @@
+// Package foosync is a decoy for the lockedfield fixture: its printed
+// type name ("foosync.Fake") contains the substring "sync." and it has
+// Lock/Unlock methods, but it is not a sync mutex and must not satisfy
+// a `guarded by` annotation.
+package foosync
+
+type Fake struct{}
+
+func (*Fake) Lock()   {}
+func (*Fake) Unlock() {}

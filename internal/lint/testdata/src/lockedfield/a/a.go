@@ -3,7 +3,11 @@
 // function whose doc declares the caller-holds convention.
 package a
 
-import "sync"
+import (
+	"sync"
+
+	"foosync"
+)
 
 type pool struct {
 	mu    sync.Mutex
@@ -57,4 +61,31 @@ func (s *stats) read() int {
 type broken struct {
 	// guarded by lock
 	data int // want "annotated .guarded by lock. but the struct has no field lock"
+}
+
+// decoy's mu is a foosync.Fake: it has a Lock method and its printed
+// type name contains "sync.", but it is not a sync mutex, so calling
+// it never satisfies the guard.
+type decoy struct {
+	mu    foosync.Fake
+	count int // guarded by mu
+}
+
+func (d *decoy) bump() {
+	d.mu.Lock()
+	d.count++ // want "count is guarded by mu but accessed without a preceding"
+	d.mu.Unlock()
+}
+
+// shared holds its mutex behind a pointer: still a sync mutex, still a
+// valid guard.
+type shared struct {
+	mu *sync.Mutex
+	n  int // guarded by mu
+}
+
+func (s *shared) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
 }

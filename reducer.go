@@ -263,6 +263,7 @@ func (rd *Reducer) reduce(ctx context.Context, sys *System, method string, opts 
 		// The flight runs under its own cancelable context detached
 		// from any single caller's: it must survive one waiter's
 		// cancellation as long as another still wants the result.
+		//avtmorlint:ignore ctxflow the flight is deliberately detached: it must survive one waiter's cancellation while others still wait
 		ictx, cancel := context.WithCancel(context.Background())
 		fl = &flight{refs: 1, cancel: cancel, done: make(chan struct{})}
 		rd.inflight[key] = fl
