@@ -30,6 +30,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"slices"
 	"strconv"
 	"sync"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"avtmor"
 	"avtmor/internal/cluster"
 	"avtmor/internal/query"
+	"avtmor/internal/replica"
 	"avtmor/internal/store"
 	"avtmor/internal/wire"
 )
@@ -72,23 +74,41 @@ type Stats struct {
 	Revalidated int64
 	// Failovers counts owner-unreachable switches to another node.
 	Failovers int64
+	// EpochRefreshes counts membership refreshes triggered by an
+	// epoch-mismatch response from the fleet (the client's placement
+	// view was behind a join/leave and re-synced instead of failing
+	// over blindly).
+	EpochRefreshes int64
+}
+
+// Membership is the fleet's epoch-versioned cluster view as reported
+// by GET /v1/cluster/membership.
+type Membership struct {
+	// Epoch counts membership transitions; higher is newer.
+	Epoch uint64
+	// Peers is the fleet address list, canonical form.
+	Peers []string
+	// Replicas is the replication factor R.
+	Replicas int
 }
 
 // Client talks to one avtmord node or a fleet. It is safe for
 // concurrent use; create with New.
 type Client struct {
-	nodes []string
-	ring  *cluster.Ring // nil with a single node
-	hc    *http.Client
+	hc *http.Client
 
 	maxRetries int
 	backoff    time.Duration
 	maxResp    int64
 
-	mu    sync.Mutex
-	cache map[string][]byte // digest → ROM wire bytes (immutable: content-addressed)
-	place map[string]string // params+body fingerprint → digest (placement memo)
-	stats Stats
+	mu       sync.Mutex
+	nodes    []string          // guarded by mu; current fleet view (mutable: epoch refresh)
+	ring     *cluster.Ring     // guarded by mu; nil with a single node
+	epoch    uint64            // guarded by mu; membership epoch of the current view (0 = never synced)
+	replicas int               // guarded by mu; fleet replication factor under that view
+	cache    map[string][]byte // guarded by mu; digest → ROM wire bytes (immutable: content-addressed)
+	place    map[string]string // guarded by mu; params+body fingerprint → digest (placement memo)
+	stats    Stats             // guarded by mu
 }
 
 // placeMemoLimit bounds the placement memo; on overflow the memo is
@@ -113,17 +133,20 @@ func New(cfg Config) (*Client, error) {
 			nodes = append(nodes, a)
 		}
 	}
+	var ring *cluster.Ring
+	if len(nodes) > 1 {
+		ring = cluster.New(nodes, 0)
+	}
 	c := &Client{
 		nodes:      nodes,
+		ring:       ring,
 		hc:         cfg.HTTPClient,
 		maxRetries: cfg.MaxRetries,
 		backoff:    cfg.BaseBackoff,
 		maxResp:    cfg.MaxResponseBytes,
+		replicas:   1,
 		cache:      map[string][]byte{},
 		place:      map[string]string{},
-	}
-	if len(nodes) > 1 {
-		c.ring = cluster.New(nodes, 0)
 	}
 	if c.hc == nil {
 		c.hc = &http.Client{
@@ -160,19 +183,49 @@ func (c *Client) Stats() Stats {
 // Owner returns the node the fleet's ring places digest on (the first
 // node when ring placement is disabled).
 func (c *Client) Owner(digest string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.ring == nil {
 		return c.nodes[0]
 	}
 	return c.ring.Owner(digest)
 }
 
-// candidates returns the nodes to try for digest, owner first.
+// Owners returns digest's full replica set in ring order under the
+// client's current membership view (one node when ring placement is
+// disabled). avtmorctl's cluster -verify uses this to check that every
+// artifact actually lives on all of its owners.
+func (c *Client) Owners(digest string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil {
+		return []string{c.nodes[0]}
+	}
+	return c.ring.Owners(digest, min(c.replicas, c.ring.Len()))
+}
+
+// Nodes returns the client's current fleet view (updated by epoch
+// refreshes). The slice is a copy.
+func (c *Client) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.nodes...)
+}
+
+// candidates returns the nodes to try for digest: the replica set in
+// ring order first (any replica serves a read locally and owns a
+// write), then the rest of the fleet as relays of last resort.
 func (c *Client) candidates(digest string) []string {
-	owner := c.Owner(digest)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil {
+		return append([]string(nil), c.nodes...)
+	}
+	owners := c.ring.Owners(digest, min(c.replicas, c.ring.Len()))
 	out := make([]string, 0, len(c.nodes))
-	out = append(out, owner)
+	out = append(out, owners...)
 	for _, n := range c.nodes {
-		if n != owner {
+		if !slices.Contains(owners, n) {
 			out = append(out, n)
 		}
 	}
@@ -460,9 +513,10 @@ func (c *Client) do(ctx context.Context, digest string, build func(node string) 
 
 // doNodeFirst is do with an explicit first choice.
 func (c *Client) doNodeFirst(ctx context.Context, node string, build func(node string) (*http.Request, error)) (*http.Response, error) {
-	cands := make([]string, 0, len(c.nodes))
+	nodes := c.Nodes()
+	cands := make([]string, 0, len(nodes)+1)
 	cands = append(cands, node)
-	for _, n := range c.nodes {
+	for _, n := range nodes {
 		if n != node {
 			cands = append(cands, n)
 		}
@@ -496,6 +550,7 @@ func (c *Client) doCandidates(ctx context.Context, cands []string, build func(no
 				lastErr = err
 				break // next node
 			}
+			c.noteEpoch(ctx, node, resp.Header.Get(headerEpoch))
 			if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
 				return resp, nil
 			}
@@ -562,4 +617,140 @@ type StatusError struct {
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("avtmorclient: server answered %d: %s", e.Code, e.Message)
+}
+
+// headerEpoch is the fleet's membership-epoch response header
+// (serve.HeaderEpoch, spelled out to keep the client importable
+// without the serving tier).
+const headerEpoch = "X-Avtmor-Epoch"
+
+// noteEpoch inspects the epoch header a fleet node attached to its
+// response. The first epoch seen is adopted as the baseline; a later,
+// higher epoch means the fleet's membership moved (join/leave) while
+// this client still places on the old ring — refresh the view from the
+// answering node instead of mis-dialing until errors force a failover.
+func (c *Client) noteEpoch(ctx context.Context, node, header string) {
+	if header == "" {
+		return
+	}
+	peerEpoch, err := strconv.ParseUint(header, 10, 64)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	known := c.epoch
+	if known == 0 {
+		c.epoch = peerEpoch // first contact: adopt silently
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	if peerEpoch > known {
+		c.refreshMembership(ctx, node)
+	}
+}
+
+// refreshMembership fetches node's membership and adopts it when it is
+// newer than the current view: the ring is rebuilt over the new peer
+// list and the placement memo keeps working unchanged (it maps to
+// digests, not nodes).
+func (c *Client) refreshMembership(ctx context.Context, node string) {
+	m, err := c.membershipFrom(ctx, node)
+	if err != nil {
+		return // best-effort; the old view still works via failover
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.Epoch <= c.epoch {
+		return
+	}
+	c.epoch = m.Epoch
+	c.nodes = m.Peers
+	c.replicas = max(m.Replicas, 1)
+	if len(m.Peers) > 1 {
+		c.ring = cluster.New(m.Peers, 0)
+	} else {
+		c.ring = nil
+	}
+	c.stats.EpochRefreshes++
+}
+
+// Membership fetches the fleet's current membership view, trying each
+// node until one answers, and adopts it for subsequent placement.
+func (c *Client) Membership(ctx context.Context) (*Membership, error) {
+	var lastErr error
+	for _, node := range c.Nodes() {
+		m, err := c.membershipFrom(ctx, node)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.mu.Lock()
+		if m.Epoch > c.epoch {
+			c.epoch = m.Epoch
+			c.nodes = m.Peers
+			c.replicas = max(m.Replicas, 1)
+			if len(m.Peers) > 1 {
+				c.ring = cluster.New(m.Peers, 0)
+			} else {
+				c.ring = nil
+			}
+		}
+		c.mu.Unlock()
+		return m, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("avtmorclient: no nodes configured")
+	}
+	return nil, fmt.Errorf("avtmorclient: fetching membership: %w", lastErr)
+}
+
+// membershipFrom fetches one node's membership view.
+func (c *Client) membershipFrom(ctx context.Context, node string) (*Membership, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+node+"/v1/cluster/membership", nil)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.statusError(resp)
+	}
+	m, err := replica.DecodeMembership(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &Membership{Epoch: m.Epoch, Peers: m.Peers, Replicas: m.Replicas}, nil
+}
+
+// Keys fetches the sorted content addresses node stores for shard (a
+// fleet node address) — the same surface the anti-entropy sweeper
+// exchanges. Passing node as its own shard lists what that node owns;
+// avtmorctl's cluster subcommand uses this for per-node replica
+// counts.
+func (c *Client) Keys(ctx context.Context, node, shard string) ([]string, error) {
+	node = cluster.Normalize(node)
+	u := "http://" + node + "/v1/cluster/keys?shard=" + url.QueryEscape(cluster.Normalize(shard))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.statusError(resp)
+	}
+	return replica.ReadKeyList(resp.Body)
 }

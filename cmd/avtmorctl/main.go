@@ -27,6 +27,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -50,6 +52,8 @@ func main() {
 		err = cmdBatch(args)
 	case "get":
 		err = cmdGet(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -68,7 +72,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   avtmorctl reduce -nodes HOST:PORT[,...] [-q QUERY] [-o FILE] NETLIST
   avtmorctl batch  -nodes HOST:PORT[,...] [-q QUERY] [-out DIR] NETLIST...
-  avtmorctl get    -nodes HOST:PORT[,...] [-o FILE] [-revalidate] DIGEST`)
+  avtmorctl get    -nodes HOST:PORT[,...] [-o FILE] [-revalidate] DIGEST
+  avtmorctl cluster -nodes HOST:PORT[,...] [-verify]`)
 }
 
 // fleetFlags installs the flags every subcommand shares.
@@ -235,4 +240,103 @@ func cmdGet(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, raw, 0o644)
+}
+
+// cmdCluster prints the fleet's membership view — epoch, replication
+// factor, and for every member its health plus how many content
+// addresses it holds — and with -verify audits placement: every
+// address anywhere in the fleet must be present on each of its ring
+// owners, and the command exits non-zero listing what is missing
+// where. CI uses the verify mode to poll a churned fleet until
+// anti-entropy has restored full replication.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	nodes, _, timeout := fleetFlags(fs)
+	verify := fs.Bool("verify", false, "audit placement: fail unless every artifact is on all of its replica owners")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("cluster takes no positional arguments")
+	}
+	c, err := newClient(*nodes)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	m, err := c.Membership(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epoch %d, replicas %d, %d nodes\n", m.Epoch, m.Replicas, len(m.Peers))
+
+	held := make(map[string]map[string]bool, len(m.Peers))
+	for _, peer := range m.Peers {
+		health := healthOf(ctx, peer)
+		keys, err := c.Keys(ctx, peer, peer)
+		if err != nil {
+			fmt.Printf("  %-21s %-8s keys unavailable: %v\n", peer, health, err)
+			continue
+		}
+		fmt.Printf("  %-21s %-8s %d keys\n", peer, health, len(keys))
+		set := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			set[k] = true
+		}
+		held[peer] = set
+	}
+	if !*verify {
+		return nil
+	}
+
+	// Placement audit against the fleet's own view: the union of every
+	// node's key list is the ground truth, and each address must be on
+	// all of its owners (the client ring and the fleet ring are the same
+	// construction, verified continuously by the key-check guard).
+	all := map[string]bool{}
+	for _, set := range held {
+		for k := range set {
+			all[k] = true
+		}
+	}
+	missing := 0
+	for k := range all {
+		for _, owner := range c.Owners(k) {
+			set, ok := held[owner]
+			if !ok {
+				// Key listing failed above; already reported.
+				continue
+			}
+			if !set[k] {
+				missing++
+				fmt.Printf("under-replicated: %s missing on owner %s\n", k, owner)
+			}
+		}
+	}
+	if missing > 0 {
+		return fmt.Errorf("%d replica copies missing", missing)
+	}
+	fmt.Printf("verify ok: %d keys fully replicated\n", len(all))
+	return nil
+}
+
+// healthOf probes one node's /healthz.
+func healthOf(ctx context.Context, node string) string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+node+"/healthz", nil)
+	if err != nil {
+		return "error"
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "down"
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return "ok"
+	case http.StatusServiceUnavailable:
+		return "draining"
+	default:
+		return fmt.Sprintf("http %d", resp.StatusCode)
+	}
 }

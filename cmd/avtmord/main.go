@@ -11,6 +11,7 @@
 //	avtmord [-addr HOST:PORT] [-store DIR] [-workers N] [-queue N]
 //	        [-cache-limit N] [-grace D] [-drain-notice D]
 //	        [-node HOST:PORT -peers HOST:PORT,HOST:PORT,...]
+//	        [-replicas N] [-join HOST:PORT] [-leave] [-anti-entropy D]
 //
 // Quickstart against a local daemon:
 //
@@ -32,6 +33,16 @@
 //	avtmord -node :8081 -peers :8081,:8082,:8083 -store ./roms-1 &
 //	avtmord -node :8082 -peers :8081,:8082,:8083 -store ./roms-2 &
 //	avtmord -node :8083 -peers :8081,:8082,:8083 -store ./roms-3 &
+//
+// With -replicas R > 1 each artifact lives on R distinct ring
+// successors (written through synchronously on the primary,
+// best-effort async on the followers, repaired by a background
+// anti-entropy sweeper), so any single node can die without losing
+// availability or recomputing. Membership is dynamic: a new node
+// joins a running fleet through any member, and -leave announces a
+// graceful departure during drain:
+//
+//	avtmord -node :8084 -join :8081 -replicas 2 -store ./roms-4 -leave &
 //
 // See the serve package and DESIGN.md §5/§7 for the endpoint,
 // backpressure, and forwarding contracts. SIGINT/SIGTERM drain
@@ -69,6 +80,10 @@ func main() {
 	drainNotice := flag.Duration("drain-notice", time.Second, "how long /healthz advertises 503 draining before the listener closes (0 disables)")
 	node := flag.String("node", "", "this node's address as it appears in -peers (enables cluster mode)")
 	peers := flag.String("peers", "", "comma-separated static peer list of the whole fleet, this node included")
+	replicas := flag.Int("replicas", 1, "replication factor R: each artifact lives on R distinct ring successors")
+	join := flag.String("join", "", "existing fleet node to join through at startup (dynamic membership; implies -peers of just that seed and -node)")
+	leave := flag.Bool("leave", false, "announce departure to the fleet on drain (epoch bump) instead of relying on anti-entropy")
+	antiEntropy := flag.Duration("anti-entropy", 0, "anti-entropy sweep interval (0 = default 5s in cluster mode with a store; negative disables)")
 	flag.Parse()
 	log.SetPrefix("avtmord: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -83,6 +98,19 @@ func main() {
 			if p = strings.TrimSpace(p); p != "" {
 				peerList = append(peerList, p)
 			}
+		}
+	}
+	if *join != "" {
+		if *node == "" {
+			fmt.Fprintln(os.Stderr, "avtmord: -join requires -node (the ring identity this node joins as)")
+			flag.Usage()
+			os.Exit(2)
+		}
+		if len(peerList) == 0 {
+			// The seed is the whole initial view; the join handshake
+			// replaces it with the fleet's real membership (and epoch)
+			// right after the listener is up.
+			peerList = []string{*join, *node}
 		}
 	}
 	if (len(peerList) > 0) != (*node != "") {
@@ -114,12 +142,14 @@ func main() {
 		qd = -1 // the flag's 0 means "no queue"; Config's 0 means "default"
 	}
 	s, err := serve.New(serve.Config{
-		StoreDir:   *dir,
-		Workers:    *workers,
-		QueueDepth: qd,
-		CacheLimit: *cacheLimit,
-		Node:       *node,
-		Peers:      peerList,
+		StoreDir:            *dir,
+		Workers:             *workers,
+		QueueDepth:          qd,
+		CacheLimit:          *cacheLimit,
+		Node:                *node,
+		Peers:               peerList,
+		Replicas:            *replicas,
+		AntiEntropyInterval: *antiEntropy,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -140,6 +170,18 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	if *join != "" {
+		// Handshake after the listener is up so the fleet's membership
+		// broadcast (and the first forwarded request) can reach us.
+		jctx, jcancel := context.WithTimeout(ctx, 10*time.Second)
+		if err := s.Join(jctx, *join); err != nil {
+			log.Printf("warning: joining via %s failed (%v); serving with the seed view, anti-entropy will converge", *join, err)
+		} else {
+			log.Printf("joined fleet via %s", *join)
+		}
+		jcancel()
+	}
+
 	select {
 	case err := <-serveErr:
 		log.Fatal(err)
@@ -152,6 +194,20 @@ func main() {
 	// then stop accepting and let in-flight work finish.
 	s.Drain()
 	log.Printf("draining (notice %s, grace %s)", *drainNotice, *grace)
+	if *leave {
+		// Announce the departure while the listener is still open: the
+		// epoch bump re-homes this node's key ranges immediately instead
+		// of waiting for peers' sweeps to time out against a dead socket.
+		// Artifacts stay on disk; surviving owners re-replicate via
+		// anti-entropy.
+		lctx, lcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := s.Leave(lctx); err != nil {
+			log.Printf("warning: leave announcement failed: %v", err)
+		} else {
+			log.Printf("left fleet membership")
+		}
+		lcancel()
+	}
 	if *drainNotice > 0 {
 		time.Sleep(*drainNotice)
 	}

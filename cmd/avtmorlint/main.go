@@ -134,10 +134,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 // (romio, systemio, and the cache-key canonicalization live there).
 var scopes = map[string]func(base string, root bool) bool{
 	"detrom": func(base string, root bool) bool {
-		return root || base == "core" || base == "assoc" || base == "qldae"
+		// replica is in scope: anti-entropy convergence must depend
+		// only on content addresses and membership epochs, never on
+		// wall-clock or iteration order (the sweeper's pacing ticker
+		// carries the one reasoned ignore).
+		return root || base == "core" || base == "assoc" || base == "qldae" || base == "replica"
 	},
 	"cappedread": func(base string, root bool) bool {
-		return root || base == "wire"
+		// replica decodes peer-supplied key lists and membership JSON —
+		// wire-tier trust level, wire-tier read caps.
+		return root || base == "wire" || base == "replica"
 	},
 }
 

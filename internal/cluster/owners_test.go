@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestRingOwnersProperties is the replica-placement contract of
+// Owners(key, r): r distinct nodes, primary agreeing with Owner,
+// determinism across peer-list orderings, and subsequence stability
+// under node removal — the property the anti-entropy sweep leans on.
+func TestRingOwnersProperties(t *testing.T) {
+	nodes := []string{":8081", ":8082", ":8083", ":8084", ":8085"}
+	ring := New(nodes, 0)
+
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+
+	for _, key := range keys {
+		for r := 1; r <= len(nodes)+2; r++ {
+			owners := ring.Owners(key, r)
+			want := min(r, len(nodes))
+			if len(owners) != want {
+				t.Fatalf("Owners(%q, %d) returned %d nodes, want %d", key, r, len(owners), want)
+			}
+			seen := map[string]bool{}
+			for _, o := range owners {
+				if seen[o] {
+					t.Fatalf("Owners(%q, %d) repeats node %s: %v", key, r, o, owners)
+				}
+				seen[o] = true
+				if !ring.Contains(o) {
+					t.Fatalf("Owners(%q, %d) invented node %s", key, r, o)
+				}
+			}
+			// The r-set extends the (r-1)-set: replica sets nest, so
+			// raising -replicas only adds copies, never moves them.
+			if r > 1 {
+				prev := ring.Owners(key, r-1)
+				if !slices.Equal(owners[:len(prev)], prev) {
+					t.Fatalf("Owners(%q, %d)=%v does not extend Owners(%q, %d)=%v", key, r, owners, key, r-1, prev)
+				}
+			}
+		}
+		if owner, first := ring.Owner(key), ring.Owners(key, 1)[0]; owner != first {
+			t.Fatalf("Owner(%q)=%s but Owners(...,1)=[%s]", key, owner, first)
+		}
+	}
+}
+
+// TestRingOwnersDeterministic: every node handed the same peer list —
+// in any order — computes the same replica sets.
+func TestRingOwnersDeterministic(t *testing.T) {
+	nodes := []string{":8081", ":8082", ":8083", ":8084"}
+	ring := New(nodes, 0)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := slices.Clone(nodes)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		other := New(shuffled, 0)
+		for i := 0; i < 100; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			if a, b := ring.Owners(key, 3), other.Owners(key, 3); !slices.Equal(a, b) {
+				t.Fatalf("shuffled peer list changed Owners(%q, 3): %v vs %v", key, a, b)
+			}
+		}
+	}
+}
+
+// TestRingOwnersStability: removing one node strikes it from every
+// replica set without reordering the survivors — Owners after the
+// removal equals Owners(r+1) before it with the dead node deleted.
+// This is what bounds a crash's blast radius to the dead node's arcs.
+func TestRingOwnersStability(t *testing.T) {
+	nodes := []string{":8081", ":8082", ":8083", ":8084", ":8085"}
+	const r = 2
+	before := New(nodes, 0)
+	for _, removed := range nodes {
+		var rest []string
+		for _, n := range nodes {
+			if n != removed {
+				rest = append(rest, n)
+			}
+		}
+		after := New(rest, 0)
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			wide := before.Owners(key, r+1)
+			want := make([]string, 0, r)
+			for _, n := range wide {
+				if n != Normalize(removed) && len(want) < r {
+					want = append(want, n)
+				}
+			}
+			if got := after.Owners(key, r); !slices.Equal(got, want) {
+				t.Fatalf("removing %s moved Owners(%q, %d): got %v, want %v (pre-removal %v)",
+					removed, key, r, got, want, wide)
+			}
+		}
+	}
+}
+
+func BenchmarkRingOwners(b *testing.B) {
+	ring := New([]string{":8081", ":8082", ":8083"}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ring.Owners("0123456789abcdef0123456789abcdef", 2)
+	}
+}

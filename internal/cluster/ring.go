@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -99,12 +100,49 @@ func (r *Ring) Owner(key string) string {
 	if len(r.points) == 0 {
 		return ""
 	}
+	return r.points[r.search(key)].node
+}
+
+// Owners returns the first n distinct nodes clockwise of the key's
+// hash — the key's replica set, primary first. Fewer than n nodes on
+// the ring returns them all; an empty ring returns nil. The returned
+// slice is freshly allocated.
+//
+// Because deleting one node's virtual points never reorders the
+// remaining points, the clockwise distinct-node sequence of the
+// surviving nodes is unchanged when a node leaves: every key's replica
+// set after a departure is its old (n+1)-set with the departed node
+// struck out — the property that lets anti-entropy repair a crash by
+// copying only the dead node's arcs.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	for i, walked := r.search(key), 0; walked < len(r.points) && len(out) < n; walked++ {
+		node := r.points[i].node
+		if !slices.Contains(out, node) { // n is small: linear beats a set
+			out = append(out, node)
+		}
+		if i++; i == len(r.points) {
+			i = 0 // wrap past twelve o'clock
+		}
+	}
+	return out
+}
+
+// search locates the first virtual point clockwise of the key's hash.
+// The ring must be non-empty.
+func (r *Ring) search(key string) int {
 	h := hash64(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap past twelve o'clock
 	}
-	return r.points[i].node
+	return i
 }
 
 // Normalize canonicalizes a node address so that the strings peers

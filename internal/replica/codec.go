@@ -1,0 +1,152 @@
+// Wire codecs for the replication surfaces: the sorted key-list
+// format behind GET /v1/cluster/keys and the JSON membership and join
+// bodies behind the /v1/cluster handshake endpoints. Everything here
+// reads from untrusted peers, so every decoder follows the wire-tier
+// discipline: declared counts are validated against hard limits before
+// sizing anything, allocations grow incrementally against what the
+// stream actually delivers, and a hostile header can never force an
+// allocation bigger than the bytes the peer really sent.
+package replica
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"avtmor/internal/store"
+)
+
+// keyListMagic opens a key-list stream: magic, format version, and the
+// declared entry count, newline-terminated. Each entry is then exactly
+// one 64-hex-digit content address plus '\n', so the whole body has a
+// length fixed by its header — malformed framing is detected at the
+// first bad line, not absorbed.
+const keyListMagic = "AVTMKEYS"
+
+// keyListVersion is the current key-list format version.
+const keyListVersion = 1
+
+// MaxKeys bounds the entry count one key-list response may declare.
+// At 65 bytes per entry this caps the body at ~64 MiB — far above any
+// plausible shard, low enough to refuse absurd headers outright.
+const MaxKeys = 1 << 20
+
+// keyListAllocCap caps the capacity hinted from a declared count: a
+// peer claiming a million keys still starts from a modest slice that
+// grows only as real entries arrive.
+const keyListAllocCap = 4096
+
+// WriteKeyList writes keys (64-hex content addresses) to w in the
+// key-list format, sorting a copy first so every node serves the same
+// shard in the same byte order and diffs are a linear merge.
+func WriteKeyList(w io.Writer, keys []string) error {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %d %d\n", keyListMagic, keyListVersion, len(sorted))
+	for _, k := range sorted {
+		bw.WriteString(k)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadKeyList decodes a key-list stream, returning the sorted content
+// addresses. It refuses oversized counts, malformed digests, unsorted
+// or duplicate entries, and bodies that end early or run long — and it
+// allocates incrementally, so a hostile count cannot reserve more
+// memory than the entries actually streamed.
+func ReadKeyList(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var version, count int
+	if _, err := fmt.Fscanf(br, "%s %d %d\n", &magic, &version, &count); err != nil {
+		return nil, fmt.Errorf("replica: bad key-list header: %w", err)
+	}
+	if magic != keyListMagic {
+		return nil, fmt.Errorf("replica: bad key-list magic %q", magic)
+	}
+	if version != keyListVersion {
+		return nil, fmt.Errorf("replica: unsupported key-list version %d", version)
+	}
+	if count < 0 || count > MaxKeys {
+		return nil, fmt.Errorf("replica: key-list count %d outside 0..%d", count, MaxKeys)
+	}
+	keys := make([]string, 0, min(count, keyListAllocCap))
+	line := make([]byte, store.DigestLen+1)
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(br, line); err != nil {
+			return nil, fmt.Errorf("replica: key list truncated at entry %d/%d: %w", i, count, err)
+		}
+		if line[store.DigestLen] != '\n' {
+			return nil, fmt.Errorf("replica: key-list entry %d is not a %d-hex digest line", i, store.DigestLen)
+		}
+		k := string(line[:store.DigestLen])
+		if !store.ValidDigest(k) {
+			return nil, fmt.Errorf("replica: key-list entry %d is not a content address", i)
+		}
+		if len(keys) > 0 && keys[len(keys)-1] >= k {
+			return nil, fmt.Errorf("replica: key list unsorted at entry %d", i)
+		}
+		keys = append(keys, k)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("replica: trailing bytes after %d key-list entries", count)
+	}
+	return keys, nil
+}
+
+// maxJSONBody bounds the membership and join handshake bodies. A
+// MaxPeers-sized peer list of MaxAddrLen addresses fits comfortably.
+const maxJSONBody = 512 << 10
+
+// JoinRequest is the body of POST /v1/cluster/join and /leave: the
+// address of the node entering or departing the fleet.
+type JoinRequest struct {
+	Node string `json:"node"`
+}
+
+// DecodeJoin reads and validates a join/leave request body.
+func DecodeJoin(r io.Reader) (JoinRequest, error) {
+	var req JoinRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return JoinRequest{}, err
+	}
+	if req.Node == "" || len(req.Node) > MaxAddrLen {
+		return JoinRequest{}, fmt.Errorf("replica: invalid join node %q", req.Node)
+	}
+	return req, nil
+}
+
+// DecodeMembership reads and validates a membership body (the join
+// handshake response and the gossip POST body).
+func DecodeMembership(r io.Reader) (Membership, error) {
+	var m Membership
+	if err := decodeJSON(r, &m); err != nil {
+		return Membership{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Membership{}, err
+	}
+	return m, nil
+}
+
+// EncodeMembership writes m as JSON.
+func EncodeMembership(w io.Writer, m Membership) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+// decodeJSON decodes one JSON value from a size-capped reader and
+// rejects trailing content, so a handshake body is exactly one value.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxJSONBody))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("replica: bad handshake body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("replica: trailing content after handshake body")
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+
+	"avtmor/internal/store"
+)
+
+func TestMembershipCompareTotalOrder(t *testing.T) {
+	ms := []Membership{
+		{Epoch: 1, Peers: []string{"127.0.0.1:1"}, Replicas: 1},
+		{Epoch: 1, Peers: []string{"127.0.0.1:1", "127.0.0.1:2"}, Replicas: 1},
+		{Epoch: 1, Peers: []string{"127.0.0.1:1", "127.0.0.1:3"}, Replicas: 1},
+		{Epoch: 2, Peers: []string{"127.0.0.1:1"}, Replicas: 1},
+		{Epoch: 3, Peers: []string{"127.0.0.1:9"}, Replicas: 2},
+	}
+	for i, a := range ms {
+		if Compare(a, a) != 0 {
+			t.Fatalf("Compare(m, m) != 0 for %+v", a)
+		}
+		for j, b := range ms {
+			got, want := Compare(a, b), 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("Compare(ms[%d], ms[%d]) = %d, want %d", i, j, got, want)
+			}
+			if Compare(b, a) != -got {
+				t.Fatalf("Compare is not antisymmetric for ms[%d], ms[%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestStateJoinLeave(t *testing.T) {
+	st := NewState([]string{":8081", ":8082"}, 2)
+	if e := st.Epoch(); e != 1 {
+		t.Fatalf("fresh state epoch = %d, want 1", e)
+	}
+
+	m := st.Join(":8083")
+	if m.Epoch != 2 || !slices.Contains(m.Peers, "127.0.0.1:8083") {
+		t.Fatalf("join: %+v", m)
+	}
+	if again := st.Join("127.0.0.1:8083"); again.Epoch != 2 {
+		t.Fatalf("re-join of a member bumped the epoch: %+v", again)
+	}
+
+	m = st.Leave(":8082")
+	if m.Epoch != 3 || slices.Contains(m.Peers, "127.0.0.1:8082") {
+		t.Fatalf("leave: %+v", m)
+	}
+	if again := st.Leave(":8082"); again.Epoch != 3 {
+		t.Fatalf("leave of a non-member bumped the epoch: %+v", again)
+	}
+
+	// The last node never removes itself.
+	st.Leave(":8081")
+	if m := st.Leave(":8083"); len(m.Peers) != 1 || m.Peers[0] != "127.0.0.1:8083" {
+		t.Fatalf("last node left the fleet: %+v", m)
+	}
+}
+
+func TestStateApplyAdoptsOnlyNewer(t *testing.T) {
+	st := NewState([]string{":8081"}, 1)
+	newer := Membership{Epoch: 5, Peers: []string{"127.0.0.1:8081", "127.0.0.1:8082"}, Replicas: 2}
+	if !st.Apply(newer) {
+		t.Fatal("Apply rejected a newer membership")
+	}
+	if e := st.Epoch(); e != 5 {
+		t.Fatalf("epoch after apply = %d, want 5", e)
+	}
+	if st.Apply(Membership{Epoch: 4, Peers: []string{"127.0.0.1:9"}, Replicas: 1}) {
+		t.Fatal("Apply adopted an older membership")
+	}
+	if st.Apply(newer) {
+		t.Fatal("Apply re-adopted the current membership")
+	}
+	if st.Apply(Membership{Epoch: 6, Peers: nil, Replicas: 1}) {
+		t.Fatal("Apply adopted an invalid membership")
+	}
+}
+
+// TestStateConvergence: two nodes minting the same epoch concurrently
+// (a join race) converge once they exchange views, whichever order the
+// exchange happens in.
+func TestStateConvergence(t *testing.T) {
+	base := []string{":8081", ":8082"}
+	a, b := NewState(base, 2), NewState(base, 2)
+	ma := a.Join(":8083") // both mint epoch 2 with different peers
+	mb := b.Join(":8084")
+
+	a.Apply(mb)
+	b.Apply(ma)
+	va, _ := a.View()
+	vb, _ := b.View()
+	if Compare(va, vb) != 0 {
+		t.Fatalf("views diverge after exchange: %+v vs %+v", va, vb)
+	}
+	// Exactly one of the two joiners lost the tie and is missing from
+	// the converged view — that is what the sweeper's Rejoin hook fixes.
+	in83, in84 := slices.Contains(va.Peers, "127.0.0.1:8083"), slices.Contains(va.Peers, "127.0.0.1:8084")
+	if in83 == in84 {
+		t.Fatalf("tie-break should admit exactly one concurrent joiner: %v", va.Peers)
+	}
+}
+
+func TestKeyListRoundTrip(t *testing.T) {
+	var keys []string
+	for i := 0; i < 50; i++ {
+		keys = append(keys, store.Digest(fmt.Sprintf("key-%d", i)))
+	}
+	var buf bytes.Buffer
+	if err := WriteKeyList(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKeyList(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := slices.Clone(keys)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatalf("round trip lost keys: got %d, want %d", len(got), len(want))
+	}
+
+	if _, err := ReadKeyList(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream decoded")
+	}
+}
+
+func TestKeyListRejectsHostileInput(t *testing.T) {
+	d := store.Digest("k")
+	cases := map[string]string{
+		"huge count":     fmt.Sprintf("AVTMKEYS 1 %d\n", MaxKeys+1),
+		"negative count": "AVTMKEYS 1 -1\n",
+		"bad magic":      "NOTKEYS 1 0\n",
+		"bad version":    "AVTMKEYS 9 0\n",
+		"truncated":      "AVTMKEYS 1 2\n" + d + "\n",
+		"bad digest":     "AVTMKEYS 1 1\n" + strings.Repeat("Z", store.DigestLen) + "\n",
+		"unsorted":       "AVTMKEYS 1 2\n" + store.Digest("b") + "\n" + store.Digest("x") + "\n",
+		"trailing":       "AVTMKEYS 1 1\n" + d + "\nextra",
+	}
+	// "unsorted" needs Digest("b") > Digest("x") to actually be unsorted;
+	// build a genuinely descending pair instead.
+	lo, hi := store.Digest("b"), store.Digest("x")
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	cases["unsorted"] = "AVTMKEYS 1 2\n" + hi + "\n" + lo + "\n"
+
+	for name, in := range cases {
+		if _, err := ReadKeyList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// A declared-huge-but-legal count must not allocate up front: the
+	// incremental reader fails fast at the first missing entry.
+	if _, err := ReadKeyList(strings.NewReader(fmt.Sprintf("AVTMKEYS 1 %d\n", MaxKeys))); err == nil {
+		t.Error("million-key header with empty body decoded")
+	}
+}
+
+func TestMembershipCodec(t *testing.T) {
+	m := Membership{Epoch: 7, Peers: []string{"127.0.0.1:8081", "127.0.0.1:8082"}, Replicas: 2}
+	var buf bytes.Buffer
+	if err := EncodeMembership(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMembership(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Compare(got, m) != 0 || got.Replicas != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+
+	for name, in := range map[string]string{
+		"no peers":     `{"epoch":1,"peers":[],"replicas":1}`,
+		"zero r":       `{"epoch":1,"peers":["a:1"],"replicas":0}`,
+		"empty peer":   `{"epoch":1,"peers":[""],"replicas":1}`,
+		"trailing doc": `{"epoch":1,"peers":["a:1"],"replicas":1}{"x":1}`,
+		"not json":     `hello`,
+	} {
+		if _, err := DecodeMembership(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	if _, err := DecodeJoin(strings.NewReader(`{"node":":8084"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeJoin(strings.NewReader(`{"node":""}`)); err == nil {
+		t.Fatal("empty join node decoded")
+	}
+}
+
+// FuzzReadKeyList: no hostile key-list body may panic the decoder or
+// force an allocation beyond the bytes actually delivered; whatever
+// decodes must be sorted valid digests that re-encode canonically.
+func FuzzReadKeyList(f *testing.F) {
+	var seed bytes.Buffer
+	WriteKeyList(&seed, []string{store.Digest("a"), store.Digest("b")})
+	f.Add(seed.Bytes())
+	f.Add([]byte("AVTMKEYS 1 0\n"))
+	f.Add([]byte(fmt.Sprintf("AVTMKEYS 1 %d\n", MaxKeys)))
+	f.Add([]byte("AVTMKEYS 1 1\n" + store.Digest("x") + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, err := ReadKeyList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, k := range keys {
+			if !store.ValidDigest(k) {
+				t.Fatalf("decoded invalid digest %q", k)
+			}
+			if i > 0 && keys[i-1] >= k {
+				t.Fatalf("decoded unsorted list")
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteKeyList(&buf, keys); err != nil {
+			t.Fatal(err)
+		}
+		round, err := ReadKeyList(bytes.NewReader(buf.Bytes()))
+		if err != nil || !slices.Equal(round, keys) {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeMembership: the join/leave handshake bodies must reject
+// anything that fails validation and never panic; every accepted
+// membership is safe to build a ring from.
+func FuzzDecodeMembership(f *testing.F) {
+	f.Add([]byte(`{"epoch":1,"peers":["127.0.0.1:8081"],"replicas":1}`))
+	f.Add([]byte(`{"epoch":18446744073709551615,"peers":[":1",":2"],"replicas":2}`))
+	f.Add([]byte(`{"node":":8084"}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeMembership(bytes.NewReader(data)); err == nil {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("decoded membership fails validation: %v", err)
+			}
+			st := NewState([]string{":1"}, 1)
+			st.Apply(m) // must not panic
+		}
+		if j, err := DecodeJoin(bytes.NewReader(data)); err == nil {
+			if j.Node == "" || len(j.Node) > MaxAddrLen {
+				t.Fatalf("decoded join violates bounds: %q", j.Node)
+			}
+		}
+	})
+}

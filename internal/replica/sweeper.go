@@ -1,0 +1,252 @@
+package replica
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"avtmor/internal/cluster"
+)
+
+// DefaultInterval is the sweep period when the caller leaves
+// Config.Interval zero: frequent enough that a cold node converges in
+// seconds, cheap enough to be noise (one sorted key-list exchange per
+// peer per sweep).
+const DefaultInterval = 5 * time.Second
+
+// LocalOps is the sweeper's view of the local artifact store.
+type LocalOps interface {
+	// Keys returns the sorted content addresses stored locally.
+	Keys() []string
+	// Has reports local presence of one content address.
+	Has(digest string) bool
+	// Orphans returns the sorted content addresses tagged as computed
+	// here by owner-down fallback but owned elsewhere.
+	Orphans() []string
+	// Keep clears the orphan tag: placement now says the artifact is
+	// rightfully local.
+	Keep(digest string)
+	// Drop removes a handed-off orphan.
+	Drop(digest string) error
+}
+
+// PeerOps is the sweeper's client to one remote peer. Every call is
+// best-effort: an unreachable peer fails the call and the sweep moves
+// on — the next round retries.
+type PeerOps interface {
+	// Keys fetches the sorted content addresses peer stores that shard
+	// (a ring node address) owns, plus the peer's membership epoch.
+	Keys(ctx context.Context, peer, shard string) (keys []string, epoch uint64, err error)
+	// Pull fetches one artifact from peer and persists it locally.
+	Pull(ctx context.Context, peer, digest string) error
+	// Push uploads the local artifact to peer.
+	Push(ctx context.Context, peer, digest string) error
+	// Membership fetches the peer's current membership view.
+	Membership(ctx context.Context, peer string) (Membership, error)
+}
+
+// SweepStats is a snapshot of the sweeper's lifetime counters.
+type SweepStats struct {
+	// Sweeps counts completed rounds.
+	Sweeps int64
+	// Pulls counts artifacts fetched because an owner was missing its
+	// copy; Pushes counts orphan copies handed to their owners.
+	Pulls, Pushes int64
+	// Handoffs counts orphans dropped locally after delivery to every
+	// owner; Adoptions counts orphans kept because placement now says
+	// they are local.
+	Handoffs, Adoptions int64
+	// PeerErrors counts failed peer calls (unreachable, bad body).
+	PeerErrors int64
+	// MembershipUpdates counts sweeps that adopted a newer membership
+	// learned from a peer.
+	MembershipUpdates int64
+}
+
+// Config assembles a Sweeper.
+type Config struct {
+	// Self is this node's ring address.
+	Self string
+	// State is the shared membership state the sweeper reads placement
+	// from and feeds newer peer views into.
+	State *State
+	// Interval is the sweep period; zero selects DefaultInterval.
+	Interval time.Duration
+	// Local and Peer are the store and peer transports.
+	Local LocalOps
+	Peer  PeerOps
+	// Rejoin, if set, is called when a sweep discovers that Self has
+	// fallen out of the adopted membership (lost a concurrent-join tie,
+	// or the fleet moved on while this node was down). It should start
+	// a join handshake.
+	Rejoin func()
+}
+
+// Sweeper is the anti-entropy loop: each round it asks every peer for
+// the keys this node should own and pulls the missing ones, hands
+// orphaned fallback artifacts to their owners, and converges
+// membership by adopting any newer epoch a peer reports. Content
+// addressing does the heavy lifting — "what am I missing" is a set
+// difference over sorted digest lists, and every copy of an address is
+// bit-identical, so repair is idempotent and order-free.
+type Sweeper struct {
+	cfg Config
+
+	mu    sync.Mutex
+	stats SweepStats // guarded by mu
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSweeper builds a sweeper; call Run (usually in a goroutine) to
+// start it.
+func NewSweeper(cfg Config) *Sweeper {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	return &Sweeper{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Stats returns a snapshot of the sweep counters.
+func (sw *Sweeper) Stats() SweepStats {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.stats
+}
+
+// Run sweeps on the configured interval until Stop. The first sweep
+// fires after one interval, not immediately: at process start the
+// serve tier is still warming and a join handshake may be in flight.
+func (sw *Sweeper) Run() {
+	defer close(sw.done)
+	// The ticker is the legitimate use of wall-clock time here: sweep
+	// cadence is operational pacing, not data, and no solver result
+	// depends on it.
+	ticker := time.NewTicker(sw.cfg.Interval) //avtmorlint:ignore detrom sweep pacing is wall-clock by design; no numeric result depends on it
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sw.stop:
+			return
+		case <-ticker.C:
+			sw.Sweep(context.Background())
+		}
+	}
+}
+
+// Stop terminates Run and waits for an in-flight sweep to finish.
+// Safe to call more than once.
+func (sw *Sweeper) Stop() {
+	select {
+	case <-sw.stop:
+	default:
+		close(sw.stop)
+	}
+	<-sw.done
+}
+
+// Sweep runs one anti-entropy round. Exported so tests (and a future
+// admin endpoint) can force convergence without waiting out the
+// ticker.
+func (sw *Sweeper) Sweep(ctx context.Context) {
+	_, ring := sw.cfg.State.View()
+	self := cluster.Normalize(sw.cfg.Self)
+
+	// Membership first: a peer on a newer epoch changes placement, and
+	// repairing against a stale ring would pull the wrong keys.
+	for _, peer := range ring.Nodes() {
+		if peer == self {
+			continue
+		}
+		pm, err := sw.cfg.Peer.Membership(ctx, peer)
+		if err != nil {
+			sw.count(func(st *SweepStats) { st.PeerErrors++ })
+			continue
+		}
+		if sw.cfg.State.Apply(pm) {
+			sw.count(func(st *SweepStats) { st.MembershipUpdates++ })
+		}
+	}
+	ms, ring := sw.cfg.State.View()
+	r := min(ms.Replicas, ring.Len())
+
+	if !ring.Contains(self) {
+		// This node lost its membership (concurrent-join tiebreak, or the
+		// fleet reformed while it was down). Nothing it stores is owned by
+		// it under the adopted view; re-join and repair next round.
+		if sw.cfg.Rejoin != nil {
+			sw.cfg.Rejoin()
+		}
+		return
+	}
+
+	// Pull phase: every peer tells us which of its keys we own; fetch
+	// the ones we are missing.
+	for _, peer := range ring.Nodes() {
+		if peer == self {
+			continue
+		}
+		keys, _, err := sw.cfg.Peer.Keys(ctx, peer, self)
+		if err != nil {
+			sw.count(func(st *SweepStats) { st.PeerErrors++ })
+			continue
+		}
+		for _, d := range keys {
+			if sw.cfg.Local.Has(d) {
+				continue
+			}
+			if err := sw.cfg.Peer.Pull(ctx, peer, d); err != nil {
+				sw.count(func(st *SweepStats) { st.PeerErrors++ })
+				continue
+			}
+			sw.count(func(st *SweepStats) { st.Pulls++ })
+		}
+	}
+
+	// Handoff phase: deliver owner-down fallback artifacts to their real
+	// owners, then drop them here. An orphan is dropped only once every
+	// owner confirmed its copy — until then it stays, tagged, and the
+	// next sweep retries.
+	for _, d := range sw.cfg.Local.Orphans() {
+		owners := ring.Owners(d, r)
+		if contains(owners, self) {
+			sw.cfg.Local.Keep(d)
+			sw.count(func(st *SweepStats) { st.Adoptions++ })
+			continue
+		}
+		delivered := true
+		for _, o := range owners {
+			if err := sw.cfg.Peer.Push(ctx, o, d); err != nil {
+				sw.count(func(st *SweepStats) { st.PeerErrors++ })
+				delivered = false
+				continue
+			}
+			sw.count(func(st *SweepStats) { st.Pushes++ })
+		}
+		if delivered {
+			if err := sw.cfg.Local.Drop(d); err == nil {
+				sw.count(func(st *SweepStats) { st.Handoffs++ })
+			}
+		}
+	}
+
+	sw.count(func(st *SweepStats) { st.Sweeps++ })
+}
+
+// count applies one stats mutation under the lock.
+func (sw *Sweeper) count(f func(*SweepStats)) {
+	sw.mu.Lock()
+	f(&sw.stats)
+	sw.mu.Unlock()
+}
+
+// contains reports membership of s in the small ring-ordered slice ns.
+func contains(ns []string, s string) bool {
+	for _, n := range ns {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,282 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// fakeStore is an in-memory LocalOps.
+type fakeStore struct {
+	mu      sync.Mutex
+	keys    map[string]bool // guarded by mu
+	orphans map[string]bool // guarded by mu
+}
+
+func newFakeStore(keys ...string) *fakeStore {
+	fs := &fakeStore{keys: map[string]bool{}, orphans: map[string]bool{}}
+	for _, k := range keys {
+		fs.keys[k] = true
+	}
+	return fs
+}
+
+func (fs *fakeStore) Keys() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.keys))
+	for k := range fs.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (fs *fakeStore) Has(d string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.keys[d]
+}
+
+func (fs *fakeStore) Orphans() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.orphans))
+	for k := range fs.orphans {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (fs *fakeStore) Keep(d string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.orphans, d)
+}
+
+func (fs *fakeStore) Drop(d string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.keys, d)
+	delete(fs.orphans, d)
+	return nil
+}
+
+func (fs *fakeStore) put(d string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.keys[d] = true
+}
+
+func (fs *fakeStore) markOrphan(d string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.keys[d] = true
+	fs.orphans[d] = true
+}
+
+// fakeFleet is a PeerOps over a map of fakeStores, placing keys with a
+// shared State.
+type fakeFleet struct {
+	state  *State
+	stores map[string]*fakeStore
+	local  *fakeStore // the sweeping node's own store, target of Pull
+	down   map[string]bool
+}
+
+var errDown = errors.New("peer down")
+
+func (ff *fakeFleet) Keys(_ context.Context, peer, shard string) ([]string, uint64, error) {
+	ps, ok := ff.stores[peer]
+	if !ok || ff.down[peer] {
+		return nil, 0, errDown
+	}
+	ms, ring := ff.state.View()
+	r := min(ms.Replicas, ring.Len())
+	var owned []string
+	for _, d := range ps.Keys() {
+		if contains(ring.Owners(d, r), shard) {
+			owned = append(owned, d)
+		}
+	}
+	return owned, ms.Epoch, nil
+}
+
+func (ff *fakeFleet) Pull(_ context.Context, peer, digest string) error {
+	ps, ok := ff.stores[peer]
+	if !ok || ff.down[peer] || !ps.Has(digest) {
+		return errDown
+	}
+	ff.local.put(digest)
+	return nil
+}
+
+func (ff *fakeFleet) Push(_ context.Context, peer, digest string) error {
+	ps, ok := ff.stores[peer]
+	if !ok || ff.down[peer] {
+		return errDown
+	}
+	ps.put(digest)
+	return nil
+}
+
+func (ff *fakeFleet) Membership(_ context.Context, peer string) (Membership, error) {
+	if _, ok := ff.stores[peer]; !ok || ff.down[peer] {
+		return Membership{}, errDown
+	}
+	ms, _ := ff.state.View()
+	return ms, nil
+}
+
+// TestSweeperPullsMissingOwnedKeys: a cold node converges to exactly
+// the key set it owns — no more, no less.
+func TestSweeperPullsMissingOwnedKeys(t *testing.T) {
+	peers := []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"}
+	st := NewState(peers, 2)
+	_, ring := st.View()
+
+	self := "127.0.0.1:3"
+	local := newFakeStore()
+	full := newFakeStore() // peer 1 has everything
+	var owned, notOwned []string
+	for _, d := range testDigests(60) {
+		full.put(d)
+		if contains(ring.Owners(d, 2), self) {
+			owned = append(owned, d)
+		} else {
+			notOwned = append(notOwned, d)
+		}
+	}
+	if len(owned) == 0 || len(notOwned) == 0 {
+		t.Fatal("test digests did not split across owners")
+	}
+
+	fleet := &fakeFleet{state: st, local: local, stores: map[string]*fakeStore{
+		"127.0.0.1:1": full,
+		"127.0.0.1:2": newFakeStore(),
+	}}
+	sw := NewSweeper(Config{Self: self, State: st, Local: local, Peer: fleet})
+	sw.Sweep(context.Background())
+
+	sort.Strings(owned)
+	if got := local.Keys(); !slices.Equal(got, owned) {
+		t.Fatalf("after sweep local holds %d keys, want the %d owned ones", len(got), len(owned))
+	}
+	if s := sw.Stats(); s.Pulls != int64(len(owned)) || s.Sweeps != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestSweeperOrphanHandoff: a fallback artifact computed on a
+// non-replica is delivered to every owner, then dropped locally; an
+// undeliverable orphan is retained for the next round.
+func TestSweeperOrphanHandoff(t *testing.T) {
+	peers := []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"}
+	st := NewState(peers, 2)
+	_, ring := st.View()
+
+	self := "127.0.0.1:3"
+	var orphan string
+	for _, d := range testDigests(200) {
+		if !contains(ring.Owners(d, 2), self) {
+			orphan = d
+			break
+		}
+	}
+	if orphan == "" {
+		t.Fatal("no non-owned digest found")
+	}
+	owners := ring.Owners(orphan, 2)
+
+	local := newFakeStore()
+	local.markOrphan(orphan)
+	fleet := &fakeFleet{state: st, local: local, stores: map[string]*fakeStore{
+		"127.0.0.1:1": newFakeStore(),
+		"127.0.0.1:2": newFakeStore(),
+	}, down: map[string]bool{owners[0]: true}}
+
+	sw := NewSweeper(Config{Self: self, State: st, Local: local, Peer: fleet})
+	sw.Sweep(context.Background())
+	if !local.Has(orphan) {
+		t.Fatal("orphan dropped while an owner was unreachable")
+	}
+
+	fleet.down = nil
+	sw.Sweep(context.Background())
+	if local.Has(orphan) {
+		t.Fatal("orphan retained after successful handoff")
+	}
+	for _, o := range owners {
+		if !fleet.stores[o].Has(orphan) {
+			t.Fatalf("owner %s missing the handed-off copy", o)
+		}
+	}
+	if s := sw.Stats(); s.Handoffs != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestSweeperAdoptsOrphanWhenPlacementChanges: if membership churn
+// makes this node an owner of a tagged artifact, the tag is cleared
+// instead of handing the copy away.
+func TestSweeperAdoptsOrphanWhenPlacementChanges(t *testing.T) {
+	st := NewState([]string{"127.0.0.1:1", "127.0.0.1:2"}, 1)
+	_, ring := st.View()
+	self := "127.0.0.1:2"
+	var d string
+	for _, c := range testDigests(100) {
+		if contains(ring.Owners(c, 1), self) {
+			d = c
+			break
+		}
+	}
+	local := newFakeStore()
+	local.markOrphan(d)
+	fleet := &fakeFleet{state: st, local: local, stores: map[string]*fakeStore{"127.0.0.1:1": newFakeStore()}}
+	sw := NewSweeper(Config{Self: self, State: st, Local: local, Peer: fleet})
+	sw.Sweep(context.Background())
+	if !local.Has(d) || len(local.Orphans()) != 0 {
+		t.Fatal("owned orphan was not adopted")
+	}
+	if s := sw.Stats(); s.Adoptions != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestSweeperRejoinsWhenDroppedFromMembership: a node missing from the
+// adopted view calls the Rejoin hook instead of repairing against a
+// ring it is not on.
+func TestSweeperRejoinsWhenDroppedFromMembership(t *testing.T) {
+	st := NewState([]string{"127.0.0.1:1", "127.0.0.1:2"}, 1)
+	st.Apply(Membership{Epoch: 9, Peers: []string{"127.0.0.1:1"}, Replicas: 1})
+	rejoined := false
+	local := newFakeStore()
+	fleet := &fakeFleet{state: st, local: local, stores: map[string]*fakeStore{"127.0.0.1:1": newFakeStore()}}
+	sw := NewSweeper(Config{Self: "127.0.0.1:2", State: st, Local: local, Peer: fleet,
+		Rejoin: func() { rejoined = true }})
+	sw.Sweep(context.Background())
+	if !rejoined {
+		t.Fatal("sweeper did not rejoin after losing membership")
+	}
+}
+
+func testDigests(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = digestOfInt(i)
+	}
+	return out
+}
+
+func digestOfInt(i int) string {
+	const hexdig = "0123456789abcdef"
+	b := make([]byte, 64)
+	for j := range b {
+		b[j] = hexdig[(i>>(j%8))&0xf]
+	}
+	return string(b)
+}

@@ -24,6 +24,7 @@ package store
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"io"
@@ -39,9 +40,13 @@ import (
 
 const (
 	romExt        = ".rom"
+	orphanExt     = ".orphan"
 	tmpPrefix     = ".tmp-"
 	quarantineDir = "quarantine"
 )
+
+// DigestLen is the length of a content address: hex SHA-256.
+const DigestLen = 2 * sha256.Size
 
 // Store is a content-addressed on-disk ROM store. It implements
 // avtmor.ROMStore and is safe for concurrent use.
@@ -49,7 +54,8 @@ type Store struct {
 	dir string
 
 	mu          sync.Mutex
-	index       map[string]bool // digest → present
+	index       map[string]bool // guarded by mu; digest → present
+	orphans     map[string]bool // guarded by mu; digest → stored here but owned elsewhere
 	quarantined int64
 	loads, hits int64
 	rawOpens    int64
@@ -67,6 +73,10 @@ type Stats struct {
 	// zero-copy serving — artifact bytes that left the store without a
 	// single parse.
 	RawOpens int64
+	// Orphans is the current count of artifacts marked as stored here
+	// but owned elsewhere on the cluster ring, awaiting anti-entropy
+	// handoff.
+	Orphans int
 }
 
 // Digest returns the content address of a cache key: the hex SHA-256
@@ -77,8 +87,10 @@ func Digest(key string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-func validDigest(d string) bool {
-	if len(d) != 2*sha256.Size {
+// ValidDigest reports whether d is a well-formed content address:
+// exactly DigestLen lowercase hex digits.
+func ValidDigest(d string) bool {
+	if len(d) != DigestLen {
 		return false
 	}
 	for i := 0; i < len(d); i++ {
@@ -99,11 +111,17 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, index: map[string]bool{}}
+	s := &Store{dir: dir, index: map[string]bool{}, orphans: map[string]bool{}}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	// The scan builds local maps and installs them under the lock at
+	// the end: the store is not published yet, but keeping every
+	// guarded-field access locked lets the invariant stay checkable.
+	index := map[string]bool{}
+	orphans := map[string]bool{}
+	var markers []string
 	for _, e := range entries {
 		if e.IsDir() {
 			continue
@@ -113,16 +131,33 @@ func Open(dir string) (*Store, error) {
 			os.Remove(filepath.Join(dir, name))
 			continue
 		}
+		if strings.HasSuffix(name, orphanExt) {
+			markers = append(markers, strings.TrimSuffix(name, orphanExt))
+			continue
+		}
 		if !strings.HasSuffix(name, romExt) {
 			continue
 		}
 		digest := strings.TrimSuffix(name, romExt)
-		if !validDigest(digest) || s.validate(filepath.Join(dir, name)) != nil {
+		if !ValidDigest(digest) || s.validate(filepath.Join(dir, name)) != nil {
 			s.quarantine(name)
 			continue
 		}
-		s.index[digest] = true
+		index[digest] = true
 	}
+	// Orphan markers survive restarts, but a marker whose artifact is
+	// gone (handed off, quarantined) is stale — remove it.
+	for _, d := range markers {
+		if ValidDigest(d) && index[d] {
+			orphans[d] = true
+		} else {
+			os.Remove(filepath.Join(dir, d+orphanExt))
+		}
+	}
+	s.mu.Lock()
+	s.index = index
+	s.orphans = orphans
+	s.mu.Unlock()
 	return s, nil
 }
 
@@ -181,7 +216,7 @@ func (s *Store) Keys() []string {
 // tier's cluster routing uses to decide whether a by-address request
 // needs forwarding at all.
 func (s *Store) Has(digest string) bool {
-	if !validDigest(digest) {
+	if !ValidDigest(digest) {
 		return false
 	}
 	s.mu.Lock()
@@ -202,7 +237,7 @@ func (s *Store) Has(digest string) bool {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{ROMs: len(s.index), Quarantined: s.quarantined, Loads: s.loads, Hits: s.hits, RawOpens: s.rawOpens}
+	return Stats{ROMs: len(s.index), Quarantined: s.quarantined, Loads: s.loads, Hits: s.hits, RawOpens: s.rawOpens, Orphans: len(s.orphans)}
 }
 
 // OpenRaw returns the stored artifact's open file and its FileInfo
@@ -223,7 +258,7 @@ func (s *Store) OpenRaw(digest string) (*os.File, os.FileInfo, error) {
 	s.mu.Lock()
 	s.rawOpens++
 	s.mu.Unlock()
-	if !validDigest(digest) {
+	if !ValidDigest(digest) {
 		return nil, nil, fs.ErrNotExist
 	}
 	name := digest + romExt
@@ -272,7 +307,7 @@ func (s *Store) Get(digest string) (*avtmor.ROM, error) {
 	s.mu.Lock()
 	s.loads++
 	s.mu.Unlock()
-	if !validDigest(digest) {
+	if !ValidDigest(digest) {
 		return nil, nil
 	}
 	name := digest + romExt
@@ -301,7 +336,12 @@ func (s *Store) Get(digest string) (*avtmor.ROM, error) {
 func (s *Store) drop(digest string) {
 	s.mu.Lock()
 	delete(s.index, digest)
+	orphan := s.orphans[digest]
+	delete(s.orphans, digest)
 	s.mu.Unlock()
+	if orphan {
+		os.Remove(filepath.Join(s.dir, digest+orphanExt))
+	}
 }
 
 // Store persists rom under the cache key with an atomic tmp+rename
@@ -342,4 +382,134 @@ func (s *Store) Store(key string, rom *avtmor.ROM) error {
 	s.index[digest] = true
 	s.mu.Unlock()
 	return nil
+}
+
+// PutRaw persists an already-serialized artifact under its content
+// address — the replication write path, where a replica receives the
+// primary's bytes instead of recomputing the reduction. The bytes are
+// fully deserialized first, so a corrupt or malicious push can never
+// be indexed, and the write is the same atomic tmp+rename as Store.
+// An artifact already present is left untouched (content addressing:
+// same address, same bytes). The digest is the sender's claim about
+// the cache key, which this node cannot recompute from the bytes; it
+// is validated in form here and in substance when a client checks the
+// X-Avtmor-Rom-Key header against its own canonical key.
+func (s *Store) PutRaw(digest string, raw []byte) error {
+	if !ValidDigest(digest) {
+		return fs.ErrInvalid
+	}
+	if _, err := avtmor.ReadROM(bufio.NewReader(bytes.NewReader(raw))); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	present := s.index[digest]
+	s.mu.Unlock()
+	if present {
+		return nil
+	}
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(raw)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(s.dir, digest+romExt))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	s.mu.Lock()
+	s.index[digest] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// Remove deletes the artifact with the given content address (and any
+// orphan marker) from disk and the index. Removing an absent artifact
+// is a no-op.
+func (s *Store) Remove(digest string) error {
+	if !ValidDigest(digest) {
+		return fs.ErrInvalid
+	}
+	err := os.Remove(filepath.Join(s.dir, digest+romExt))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	s.drop(digest)
+	return nil
+}
+
+// MarkOrphan tags a stored artifact as owned elsewhere on the cluster
+// ring: this node computed it as an owner-down fallback and keeps it
+// only until the anti-entropy sweep hands it to the real owners. The
+// marker is a sidecar file, so the tag survives restarts.
+func (s *Store) MarkOrphan(digest string) error {
+	if !ValidDigest(digest) {
+		return fs.ErrInvalid
+	}
+	s.mu.Lock()
+	already := s.orphans[digest]
+	s.orphans[digest] = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(s.dir, digest+orphanExt))
+	if err != nil {
+		s.mu.Lock()
+		delete(s.orphans, digest)
+		s.mu.Unlock()
+		return err
+	}
+	return f.Close()
+}
+
+// ClearOrphan removes the orphan tag: the artifact is rightfully this
+// node's (placement changed, or it became an owner).
+func (s *Store) ClearOrphan(digest string) {
+	s.mu.Lock()
+	present := s.orphans[digest]
+	delete(s.orphans, digest)
+	s.mu.Unlock()
+	if present {
+		os.Remove(filepath.Join(s.dir, digest+orphanExt))
+	}
+}
+
+// Orphans returns the sorted content addresses currently tagged as
+// orphaned.
+func (s *Store) Orphans() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.orphans))
+	for d := range s.orphans {
+		out = append(out, d)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// RawBytes returns the stored artifact's bytes, or fs.ErrNotExist —
+// the replication read side of PutRaw, used when pushing a copy to a
+// peer.
+func (s *Store) RawBytes(digest string) ([]byte, error) {
+	if !ValidDigest(digest) {
+		return nil, fs.ErrNotExist
+	}
+	raw, err := os.ReadFile(filepath.Join(s.dir, digest+romExt))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fs.ErrNotExist
+		}
+		return nil, err
+	}
+	return raw, nil
 }

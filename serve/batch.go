@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"slices"
 	"strconv"
 	"sync"
 
@@ -80,8 +81,12 @@ func (s *Server) handleReduceBatch(w http.ResponseWriter, r *http.Request) {
 		states[i] = it
 		owner := ""
 		if cs := s.cluster; cs != nil && !forwarded {
-			if o := cs.ring.Owner(it.digest); o != cs.self && o != "" {
-				owner = o
+			// Batch items forward to the primary replica only: the
+			// owner-down degradation below already covers a dead primary
+			// by computing the group locally, and keeping each sub-batch
+			// on one peer preserves the amortization the batch exists for.
+			if owners := cs.ownersFor(it.digest); len(owners) > 0 && !slices.Contains(owners, cs.self) {
+				owner = owners[0]
 			} else {
 				cs.ownerHits.Add(1)
 			}
@@ -176,6 +181,7 @@ func (s *Server) batchItemLocal(ctx context.Context, it *batchItem, req *query.R
 	if req.Norm {
 		reduce = s.reducer.ReduceNORM
 	}
+	had := s.hasLocal(it.digest)
 	var (
 		rom  *avtmor.ROM
 		rerr error
@@ -193,6 +199,9 @@ func (s *Server) batchItemLocal(ctx context.Context, it *batchItem, req *query.R
 		return wire.Result{Status: code, Key: it.digest, Body: []byte(msg)}
 	}
 	s.remember(it.digest, rom)
+	if !had {
+		s.afterWrite(it.digest, rom)
+	}
 	return romResult(it.digest, rom)
 }
 
@@ -211,7 +220,7 @@ func romResult(digest string, rom *avtmor.ROM) wire.Result {
 // caller degrades to local compute for the group.
 func (s *Server) relayBatch(ctx context.Context, owner, rawQuery string, bodies [][]byte) ([]wire.Result, error) {
 	cs := s.cluster
-	pv := cs.peers[owner]
+	pv := cs.peerVar(owner)
 	pv.forwards.Add(1)
 	var frame bytes.Buffer
 	if err := wire.WriteBatchRequest(&frame, bodies); err != nil {
@@ -228,6 +237,7 @@ func (s *Server) relayBatch(ctx context.Context, owner, rawQuery string, bodies 
 		return nil, err
 	}
 	req.Header.Set(HeaderForwarded, cs.self)
+	req.Header.Set(HeaderEpoch, strconv.FormatUint(cs.state.Epoch(), 10))
 	req.Header.Set("Content-Type", wire.BatchContentType)
 	resp, err := cs.hc.Do(req)
 	if err != nil {
@@ -235,6 +245,7 @@ func (s *Server) relayBatch(ctx context.Context, owner, rawQuery string, bodies 
 		return nil, err
 	}
 	defer resp.Body.Close()
+	s.noteEpoch(owner, resp.Header.Get(HeaderEpoch))
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
 		pv.forwardErrors.Add(1)

@@ -1,22 +1,35 @@
 package serve
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"avtmor/internal/cluster"
+	"avtmor/internal/replica"
 )
 
 // HeaderForwarded marks a request that already crossed one peer hop.
 // Its value is the forwarding node's address. A server that receives
 // it always answers locally — never re-forwards — so divergent ring
-// views (a fleet mid-rollout with different -peers lists) degrade to
-// one extra hop instead of a forwarding loop.
+// views (a fleet mid-membership-transition) degrade to one extra hop
+// instead of a forwarding loop.
 const HeaderForwarded = "X-Avtmor-Forwarded"
+
+// HeaderEpoch carries a node's membership epoch: stamped on every
+// response and on every forwarded request. A mismatch is how divergent
+// views detect each other mid-transition — the behind node refreshes
+// its membership from the ahead one instead of routing blind until the
+// next anti-entropy sweep.
+const HeaderEpoch = "X-Avtmor-Epoch"
 
 // peerVars is the per-peer counter pair surfaced under
 // /metrics → cluster.peers.<addr>.
@@ -24,24 +37,39 @@ type peerVars struct {
 	forwards, forwardErrors expvar.Int
 }
 
-// clusterState is the routing tier of a Server: the consistent-hash
-// ring over the static peer list, the HTTP client used for peer hops,
-// and the counters that make routing observable. A nil clusterState
-// (no -peers) keeps the server a plain single process.
+// clusterState is the routing tier of a Server: the epoch-versioned
+// membership (ring + replication factor), the HTTP client used for
+// peer hops, the anti-entropy sweeper, and the counters that make
+// routing observable. A nil clusterState (no -peers) keeps the server
+// a plain single process.
 type clusterState struct {
-	ring *cluster.Ring
-	self string
-	hc   *http.Client
+	state *replica.State
+	self  string
+	hc    *http.Client
 
-	peers map[string]*peerVars // normalized peer addr → counters (self excluded)
+	sweeper    *replica.Sweeper // nil without a store or with sweeps disabled
+	refreshing atomic.Bool      // one membership refresh in flight at a time
+
+	mu       sync.Mutex
+	peers    map[string]*peerVars // guarded by mu; normalized peer addr → counters (self excluded)
+	peersVar *expvar.Map          // per-peer metrics map; grows with membership
+
 	// ownerHits counts requests this node answered because the ring
 	// placed the key here; forwardedServes the requests answered
 	// locally because a peer forwarded them (loop guard); localHits
 	// by-address requests served locally although another node owns
 	// the key (the artifact was already on this node); fallbackLocal
-	// requests computed/served locally because the owner was
+	// requests computed/served locally because every owner was
 	// unreachable or draining.
 	ownerHits, forwardedServes, localHits, fallbackLocal expvar.Int
+	// replicaWrites counts replica copies accepted over
+	// PUT /v1/cluster/roms (write-through pushes, sweeper pushes);
+	// replicaPushes/replicaPushErrors the outbound side; readRepairs
+	// GETs that pulled a missing local copy from a co-replica;
+	// epochMismatches requests or relays that met a different epoch;
+	// orphansMarked fallback artifacts tagged for anti-entropy handoff.
+	replicaWrites, replicaPushes, replicaPushErrors expvar.Int
+	readRepairs, epochMismatches, orphansMarked     expvar.Int
 }
 
 // newClusterState validates and builds the routing tier from Config.
@@ -51,24 +79,35 @@ func newClusterState(cfg Config) (*clusterState, error) {
 		if cfg.Node != "" {
 			return nil, fmt.Errorf("serve: Node %q set without Peers", cfg.Node)
 		}
+		if cfg.Replicas > 1 {
+			return nil, fmt.Errorf("serve: Replicas %d set without Peers", cfg.Replicas)
+		}
 		return nil, nil
 	}
 	self := cluster.Normalize(cfg.Node)
 	if self == "" {
 		return nil, fmt.Errorf("serve: Peers configured but Node is empty; set Node to this server's address as it appears in Peers")
 	}
-	ring := cluster.New(cfg.Peers, 0)
-	if !ring.Contains(self) {
-		return nil, fmt.Errorf("serve: Node %q is not in Peers %v", self, ring.Nodes())
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("serve: negative Replicas %d", cfg.Replicas)
+	}
+	replicas := cfg.Replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	state := replica.NewState(cfg.Peers, replicas)
+	if !state.Contains(self) {
+		return nil, fmt.Errorf("serve: Node %q is not in Peers %v", self, state.Ring().Nodes())
 	}
 	headerTimeout := cfg.PeerHeaderTimeout
 	if headerTimeout <= 0 {
 		headerTimeout = 30 * time.Second
 	}
 	cs := &clusterState{
-		ring:  ring,
-		self:  self,
-		peers: map[string]*peerVars{},
+		state:    state,
+		self:     self,
+		peers:    map[string]*peerVars{},
+		peersVar: new(expvar.Map).Init(),
 		hc: &http.Client{
 			// No overall client timeout: the forwarded request carries
 			// the caller's context (and ?timeout= deadline). The dial
@@ -89,12 +128,37 @@ func newClusterState(cfg Config) (*clusterState, error) {
 			},
 		},
 	}
-	for _, p := range ring.Nodes() {
+	for _, p := range state.Ring().Nodes() {
 		if p != self {
-			cs.peers[p] = &peerVars{}
+			cs.peerVar(p)
 		}
 	}
 	return cs, nil
+}
+
+// peerVar returns the counter pair for a peer, creating (and mounting
+// under /metrics → cluster.peers) one the first time a dynamically
+// joined peer is addressed.
+func (cs *clusterState) peerVar(addr string) *peerVars {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	pv, ok := cs.peers[addr]
+	if !ok {
+		pv = &peerVars{}
+		cs.peers[addr] = pv
+		pm := new(expvar.Map).Init()
+		pm.Set("forwards", &pv.forwards)
+		pm.Set("forward_errors", &pv.forwardErrors)
+		cs.peersVar.Set(addr, pm)
+	}
+	return pv
+}
+
+// ownersFor returns the digest's replica set (primary first) under the
+// current membership.
+func (cs *clusterState) ownersFor(digest string) []string {
+	ms, ring := cs.state.View()
+	return ring.Owners(digest, min(ms.Replicas, ring.Len()))
 }
 
 // vars renders the routing tier as a nested expvar map mounted at
@@ -103,40 +167,54 @@ func (cs *clusterState) vars() *expvar.Map {
 	m := new(expvar.Map).Init()
 	self := cs.self
 	m.Set("node", expvar.Func(func() any { return self }))
-	m.Set("nodes", expvar.Func(func() any { return len(cs.ring.Nodes()) }))
+	m.Set("nodes", expvar.Func(func() any { return cs.state.Ring().Len() }))
+	m.Set("epoch", expvar.Func(func() any { return cs.state.Epoch() }))
+	m.Set("replicas", expvar.Func(func() any { return cs.state.Replicas() }))
 	m.Set("owner_hits", &cs.ownerHits)
 	m.Set("forwarded_serves", &cs.forwardedServes)
 	m.Set("local_hits", &cs.localHits)
 	m.Set("fallback_local", &cs.fallbackLocal)
-	peers := new(expvar.Map).Init()
-	for addr, pv := range cs.peers {
-		pm := new(expvar.Map).Init()
-		pm.Set("forwards", &pv.forwards)
-		pm.Set("forward_errors", &pv.forwardErrors)
-		peers.Set(addr, pm)
+	m.Set("replica_writes", &cs.replicaWrites)
+	m.Set("replica_pushes", &cs.replicaPushes)
+	m.Set("replica_push_errors", &cs.replicaPushErrors)
+	m.Set("read_repairs", &cs.readRepairs)
+	m.Set("epoch_mismatches", &cs.epochMismatches)
+	m.Set("orphans_marked", &cs.orphansMarked)
+	sweep := func(f func(replica.SweepStats) any) expvar.Func {
+		return func() any {
+			if cs.sweeper == nil {
+				return 0
+			}
+			return f(cs.sweeper.Stats())
+		}
 	}
-	m.Set("peers", peers)
+	m.Set("anti_entropy_pulls", sweep(func(st replica.SweepStats) any { return st.Pulls }))
+	m.Set("anti_entropy_sweeps", sweep(func(st replica.SweepStats) any { return st.Sweeps }))
+	m.Set("orphan_handoffs", sweep(func(st replica.SweepStats) any { return st.Handoffs }))
+	m.Set("membership_updates", sweep(func(st replica.SweepStats) any { return st.MembershipUpdates }))
+	m.Set("peers", cs.peersVar)
 	return m
 }
 
-// route classifies a request against the ring. It returns the owner's
-// address when the request should be forwarded, or "" when it must be
-// served locally (not clustered, loop-guarded, or owned here).
-func (s *Server) route(r *http.Request, digest string) string {
+// route classifies a request against the ring. It returns the replica
+// set to forward to (primary first) when no replica is this node, or
+// nil when the request must be served locally (not clustered,
+// loop-guarded, or this node is a replica).
+func (s *Server) route(r *http.Request, digest string) []string {
 	cs := s.cluster
 	if cs == nil {
-		return ""
+		return nil
 	}
 	if r.Header.Get(HeaderForwarded) != "" {
 		cs.forwardedServes.Add(1)
-		return ""
+		return nil
 	}
-	owner := cs.ring.Owner(digest)
-	if owner == cs.self || owner == "" {
+	owners := cs.ownersFor(digest)
+	if len(owners) == 0 || slices.Contains(owners, cs.self) {
 		cs.ownerHits.Add(1)
-		return ""
+		return nil
 	}
-	return owner
+	return owners
 }
 
 // hasLocal reports whether the artifact with the given content
@@ -156,12 +234,12 @@ func (s *Server) hasLocal(digest string) bool {
 // relay forwards the request to owner and streams the owner's
 // response back verbatim. It returns false — having written nothing —
 // when the owner is unreachable or draining (connect error, 503), so
-// the caller can fall back to serving locally; any other owner
-// response, including client errors and backpressure, is the answer
-// and is relayed as-is.
+// the caller can try the next replica or fall back to serving locally;
+// any other owner response, including client errors and backpressure,
+// is the answer and is relayed as-is.
 func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, body io.Reader) bool {
 	cs := s.cluster
-	pv := cs.peers[owner]
+	pv := cs.peerVar(owner)
 	pv.forwards.Add(1)
 	u := *r.URL
 	u.Scheme = "http"
@@ -172,6 +250,7 @@ func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, bod
 		return false
 	}
 	req.Header.Set(HeaderForwarded, cs.self)
+	req.Header.Set(HeaderEpoch, strconv.FormatUint(cs.state.Epoch(), 10))
 	for _, h := range []string{"Content-Type", "Accept", "If-None-Match", "If-Modified-Since"} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
@@ -183,10 +262,11 @@ func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, bod
 		return false
 	}
 	defer resp.Body.Close()
+	s.noteEpoch(owner, resp.Header.Get(HeaderEpoch))
 	if resp.StatusCode == http.StatusServiceUnavailable {
 		// The owner is draining (or shedding its shutdown): treat it as
-		// down and let this node degrade to local service rather than
-		// bubbling a 5xx to the client.
+		// down and let this node degrade to the next replica or local
+		// service rather than bubbling a 5xx to the client.
 		io.Copy(io.Discard, resp.Body)
 		pv.forwardErrors.Add(1)
 		return false
@@ -202,6 +282,66 @@ func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, bod
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 	return true
+}
+
+// noteEpoch compares a peer's advertised epoch against the local one
+// and, when the peer is ahead, starts an asynchronous membership
+// refresh from it — the epoch-mismatch half of dynamic membership:
+// divergence is detected on the first request that crosses it, not on
+// the next sweep.
+func (s *Server) noteEpoch(peer, header string) {
+	if header == "" {
+		return
+	}
+	cs := s.cluster
+	peerEpoch, err := strconv.ParseUint(header, 10, 64)
+	if err != nil {
+		return
+	}
+	epoch := cs.state.Epoch()
+	if peerEpoch == epoch {
+		return
+	}
+	cs.epochMismatches.Add(1)
+	if peerEpoch > epoch {
+		s.refreshMembership(peer)
+	}
+}
+
+// refreshMembership fetches and applies peer's membership in the
+// background, coalescing concurrent triggers into one in-flight
+// refresh.
+func (s *Server) refreshMembership(peer string) {
+	cs := s.cluster
+	if !cs.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	s.repWG.Add(1)
+	go func() {
+		defer s.repWG.Done()
+		defer cs.refreshing.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), peerOpTimeout)
+		defer cancel()
+		if m, err := (peerOps{s}).Membership(ctx, peer); err == nil {
+			cs.state.Apply(m)
+		}
+	}()
+}
+
+// withEpoch stamps every response with this node's membership epoch
+// and inspects the epoch a forwarding peer attached to its request; a
+// peer that is ahead triggers a membership refresh. The forwarded
+// request itself is still served (one-hop guard): mid-transition the
+// two views disagree about placement for at most that hop.
+func (s *Server) withEpoch(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cs := s.cluster
+		w.Header().Set(HeaderEpoch, strconv.FormatUint(cs.state.Epoch(), 10))
+		if from := cluster.Normalize(r.Header.Get(HeaderForwarded)); from != "" {
+			s.noteEpoch(from, r.Header.Get(HeaderEpoch))
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Drain flips /healthz to 503 "draining" so load balancers and ring

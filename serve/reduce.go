@@ -52,24 +52,28 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		reduce = s.reducer.ReduceNORM
 	}
 	digest := store.Digest(key)
-	if owner := s.route(r, digest); owner != "" {
-		// Another node owns this key. If the artifact somehow already
+	if owners := s.route(r, digest); owners != nil {
+		// Other nodes own this key. If the artifact somehow already
 		// lives here (pre-cluster history, an earlier owner-down
 		// fallback), answer from the local tiers — content addressing
 		// makes every copy identical. Otherwise forward the original
-		// body bytes to the owner, and degrade to computing locally
-		// only when the owner is unreachable or draining.
+		// body bytes to the replicas in ring order, and degrade to
+		// computing locally only when every one is unreachable or
+		// draining.
 		if cached, err := s.reducer.Lookup(key); err == nil && cached != nil {
 			s.cluster.localHits.Add(1)
 			s.remember(digest, cached)
 			writeROM(w, digest, cached)
 			return
 		}
-		if s.relay(w, r, owner, bytes.NewReader(body)) {
-			return
+		for _, owner := range owners {
+			if s.relay(w, r, owner, bytes.NewReader(body)) {
+				return
+			}
 		}
 		s.cluster.fallbackLocal.Add(1)
 	}
+	had := s.hasLocal(digest)
 	var (
 		rom  *avtmor.ROM
 		rerr error
@@ -85,6 +89,11 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.remember(digest, rom)
+	if !had {
+		// A fresh artifact: write through to the co-replicas (or tag it
+		// for handoff if this was an owner-down fallback).
+		s.afterWrite(digest, rom)
+	}
 	writeROM(w, digest, rom)
 }
 
@@ -164,15 +173,24 @@ func (s *Server) handleGetROM(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	if owner := s.route(r, digest); owner != "" {
-		switch {
-		case s.hasLocal(digest):
+	if owners := s.route(r, digest); owners != nil {
+		if s.hasLocal(digest) {
 			s.cluster.localHits.Add(1)
-		case s.relay(w, r, owner, nil):
-			return
-		default:
+		} else {
+			for _, owner := range owners {
+				if s.relay(w, r, owner, nil) {
+					return
+				}
+			}
 			s.cluster.fallbackLocal.Add(1)
 		}
+	} else if s.cluster != nil && !s.hasLocal(digest) {
+		// This node is a replica for the address but is missing its
+		// copy (crash recovery, a write-through push that never
+		// arrived): read-repair from a co-replica before answering, so
+		// the GET is served and the replica count is restored in one
+		// round trip.
+		s.readRepair(r.Context(), digest)
 	}
 	if s.st != nil {
 		f, fi, err := s.st.OpenRaw(digest)

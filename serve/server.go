@@ -72,6 +72,17 @@ type Config struct {
 	// the owner's response headers before the relay gives up and the
 	// entry node falls back to local service. Default 30s.
 	PeerHeaderTimeout time.Duration
+	// Replicas is the replication factor R: every artifact is placed
+	// on the R distinct clockwise ring successors of its content
+	// address, written through to all of them, and servable from any.
+	// 0 defaults to 1 (primary only, the pre-replication behavior);
+	// values above the fleet size are clamped. See DESIGN.md §11.
+	Replicas int
+	// AntiEntropyInterval is the background sweep period that repairs
+	// missing replica copies and hands off orphaned fallback
+	// artifacts. 0 selects the default (5s); negative disables
+	// sweeping. Sweeping requires a StoreDir.
+	AntiEntropyInterval time.Duration
 }
 
 // Server is the HTTP reduction service. Create with New, mount
@@ -89,6 +100,7 @@ type Server struct {
 	closed   chan struct{}
 	closeOne sync.Once
 	wg       sync.WaitGroup
+	repWG    sync.WaitGroup // background replication/membership goroutines
 	busy     atomic.Int64
 	draining atomic.Bool
 
@@ -141,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		cluster: cs,
 	}
 	s.initVars()
+	s.startSweeper()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -149,7 +162,9 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Handler returns the route table. It can be mounted under a prefix
-// with http.StripPrefix.
+// with http.StripPrefix. On a clustered server the /v1/cluster
+// surfaces are mounted too, and every response carries the membership
+// epoch (X-Avtmor-Epoch).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/reduce", s.handleReduce)
@@ -158,6 +173,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/roms/{key}/simulate", s.handleSimulate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cluster != nil {
+		mux.HandleFunc("GET /v1/cluster/keys", s.handleClusterKeys)
+		mux.HandleFunc("GET /v1/cluster/membership", s.handleGetMembership)
+		mux.HandleFunc("POST /v1/cluster/membership", s.handlePostMembership)
+		mux.HandleFunc("POST /v1/cluster/join", s.handleJoin)
+		mux.HandleFunc("POST /v1/cluster/leave", s.handleLeave)
+		mux.HandleFunc("PUT /v1/cluster/roms/{key}", s.handlePutReplica)
+		return s.withEpoch(mux)
+	}
 	return mux
 }
 
@@ -182,8 +206,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the wait).
 func (s *Server) Close() error {
 	s.Drain()
+	if cs := s.cluster; cs != nil && cs.sweeper != nil {
+		cs.sweeper.Stop()
+	}
 	s.closeOne.Do(func() { close(s.closed) })
 	s.wg.Wait()
+	s.repWG.Wait()
 	return nil
 }
 

@@ -66,7 +66,7 @@ type simResponse struct {
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.simReqs.Add(1)
 	digest := r.PathValue("key")
-	if owner := s.route(r, digest); owner != "" {
+	if owners := s.route(r, digest); owners != nil {
 		if s.hasLocal(digest) {
 			s.cluster.localHits.Add(1)
 		} else {
@@ -76,8 +76,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			if s.relay(w, r, owner, bytes.NewReader(body)) {
-				return
+			for _, owner := range owners {
+				if s.relay(w, r, owner, bytes.NewReader(body)) {
+					return
+				}
 			}
 			s.cluster.fallbackLocal.Add(1)
 			r.Body = io.NopCloser(bytes.NewReader(body))
