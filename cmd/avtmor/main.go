@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	avtmor [-out DIR] [fig2|fig3|fig4|fig5|table1|ablation|scale|all]
+//	avtmor [-out DIR] [-cpuprofile FILE] [-memprofile FILE]
+//	       [fig2|fig3|fig4|fig5|table1|ablation|scale|all]
 //
 // "scale" runs the sparse-direct solver-spine experiment on ≥1000-state
 // RLC transmission lines (dense vs sparse LU backends, CSR-only regime);
@@ -24,6 +25,11 @@
 // over HTTP — POST netlists, get durable ROM artifacts from a
 // content-addressed on-disk store, simulate them remotely — run the
 // sibling daemon, cmd/avtmord.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// experiments (the CPU profile covers the whole run; the heap profile
+// is written after a final GC), so the solver spine is inspectable
+// with `go tool pprof` without an instrumented rebuild.
 package main
 
 import (
@@ -32,6 +38,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"avtmor/internal/exper"
 )
@@ -48,7 +56,37 @@ func usage() {
 func main() {
 	flag.Usage = usage
 	out := flag.String("out", "results", "directory for CSV figure series")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		// LIFO: StopCPUProfile must flush before the file closes.
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// The heap snapshot runs after the experiments but before the
+		// deferred CPU-profile teardown; a forced GC first, so the profile
+		// shows live retention rather than garbage awaiting collection.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	runners := map[string]func() (*exper.Report, error){
 		"fig2":     exper.Fig2,
 		"fig3":     exper.Fig3,

@@ -12,6 +12,12 @@
 //	        [-cache-limit N] [-grace D] [-drain-notice D]
 //	        [-node HOST:PORT -peers HOST:PORT,HOST:PORT,...]
 //	        [-replicas N] [-join HOST:PORT] [-leave] [-anti-entropy D]
+//	        [-pprof HOST:PORT]
+//
+// -pprof exposes net/http/pprof on its own listener (off by default;
+// bind it to loopback): profiling never rides the serving listener, so
+// the debug surface cannot leak through whatever exposes the service
+// port, and a profile scrape contends with requests only for CPU.
 //
 // Quickstart against a local daemon:
 //
@@ -58,6 +64,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -84,6 +91,7 @@ func main() {
 	join := flag.String("join", "", "existing fleet node to join through at startup (dynamic membership; implies -peers of just that seed and -node)")
 	leave := flag.Bool("leave", false, "announce departure to the fleet on drain (epoch bump) instead of relying on anti-entropy")
 	antiEntropy := flag.Duration("anti-entropy", 0, "anti-entropy sweep interval (0 = default 5s in cluster mode with a store; negative disables)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
 	log.SetPrefix("avtmord: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
@@ -157,6 +165,28 @@ func main() {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *pprofAddr != "" {
+		// An explicit mux, never http.DefaultServeMux, and never the
+		// serving listener: the debug surface stays exactly as reachable
+		// as the operator made -pprof, regardless of what any library
+		// registers globally or what exposes the service port.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof listening on %s", pln.Addr())
+		go func() {
+			if err := (&http.Server{Handler: pmux}).Serve(pln); err != nil {
+				log.Printf("pprof listener closed: %v", err)
+			}
+		}()
 	}
 	if len(peerList) > 0 {
 		log.Printf("cluster node %s in fleet %v", *node, peerList)

@@ -1,0 +1,41 @@
+package avtmor
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestROMBytesDeterministicAcrossGOMAXPROCS pins the scheduling
+// independence of the whole reduction spine — including the symbolic
+// cache and the level-parallel numeric refactor phase: the serialized
+// ROM of a sparse parallel multipoint reduction is byte-identical at
+// GOMAXPROCS 1 and 4. Only Stats.Build (wall clock) and Stats.Allocs
+// (a runtime heap counter) are zeroed before comparing; every numeric
+// byte and every deterministic counter (Factorizations,
+// SymbolicAnalyses, NumericRefactors, batch stats) must agree exactly.
+func TestROMBytesDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	build := func(procs int) []byte {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		w := RLCLine(256) // 511 states: sparse backend, parallel shifts
+		rom, err := Reduce(context.Background(), w.System,
+			WithOrders(6, 0, 0), WithExpansion(1, 0.4, 0.9),
+			WithSolver(SolverSparse), WithParallel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rom.rom.Stats.Build = 0
+		rom.rom.Stats.Allocs = 0
+		var buf bytes.Buffer
+		if _, err := rom.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one := build(1)
+	four := build(4)
+	if !bytes.Equal(one, four) {
+		t.Fatalf("serialized ROM differs between GOMAXPROCS=1 (%d bytes) and GOMAXPROCS=4 (%d bytes)", len(one), len(four))
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/metrics"
 	"sync"
 	"sync/atomic"
@@ -61,9 +62,10 @@ type Options struct {
 	Solver solver.Kind
 	// Parallel fans the independent moment generators out over
 	// goroutines: one per expansion point (H1+H2 about S0 and every
-	// ExtraPoints entry) plus one per Volterra-3 branch. Candidate
-	// ordering — and therefore the ROM — is identical to the serial
-	// path; only wall-clock changes.
+	// ExtraPoints entry) plus one per Volterra-3 branch, with concurrent
+	// execution clamped to runtime.GOMAXPROCS(0) so the fan-out never
+	// oversubscribes the host. Candidate ordering — and therefore the
+	// ROM — is identical to the serial path; only wall-clock changes.
 	Parallel bool
 	// BlockSize caps how many right-hand sides the moment generators
 	// group into one SolveBatch call: 0 (the default) batches every
@@ -134,6 +136,14 @@ type Stats struct {
 	// multi-RHS width of the block solve path.
 	BatchSolves  int64
 	BatchColumns int64
+	// SymbolicAnalyses counts the sparse factor steps that paid the full
+	// symbolic analysis (pattern DFS, RCM, CSC conversion) and
+	// NumericRefactors those served numeric-only from the pencil's cached
+	// symbolic object — the per-pattern amortization of the
+	// symbolic/numeric split made observable. Dense-routed builds report
+	// zero for both.
+	SymbolicAnalyses int64
+	NumericRefactors int64
 	// Allocs is the approximate heap-allocation count of the build
 	// (process-wide /gc/heap/allocs:objects delta, so concurrent
 	// activity in the same process inflates it): the zero-allocation
@@ -213,6 +223,14 @@ func ReduceContext(ctx context.Context, sys *qldae.System, opt Options) (*ROM, e
 	}
 	var wg sync.WaitGroup
 	failed := false // serial mode short-circuits after the first error
+	// Parallel fan-out is clamped to the scheduler's actual parallelism:
+	// unbounded goroutine-per-task was measurably slower than serial on a
+	// single-CPU host (oversubscribed Krylov chains thrash the shifted
+	// cache's memory instead of overlapping compute). Results land in
+	// their per-task slots and are gathered by index, so the clamp —
+	// like the fan-out itself — cannot reorder candidates or change the
+	// ROM.
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	run := func(slot int, f func() ([][]float64, error)) {
 		if !opt.Parallel {
 			if failed || ctx.Err() != nil {
@@ -226,6 +244,8 @@ func ReduceContext(ctx context.Context, sys *qldae.System, opt Options) (*ROM, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			slots[slot].cols, slots[slot].err = f()
 			taskDone()
 		}()
@@ -310,6 +330,8 @@ func (r *ROM) fillSolverStats(backend string, cs solver.CacheStats) {
 	r.Stats.SolveCacheHits = cs.Hits
 	r.Stats.BatchSolves = cs.BatchSolves
 	r.Stats.BatchColumns = cs.BatchColumns
+	r.Stats.SymbolicAnalyses = cs.SymbolicAnalyses
+	r.Stats.NumericRefactors = cs.NumericRefactors
 }
 
 // finish orthonormalizes the candidate set and projects. ctx is

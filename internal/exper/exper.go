@@ -58,6 +58,8 @@ func (r *Report) solverMetrics(prefix string, st avtmor.Stats) string {
 	r.metric(prefix+"_cache_hits", float64(st.SolveCacheHits))
 	r.metric(prefix+"_batch_solves", float64(st.BatchSolves))
 	r.metric(prefix+"_batch_columns", float64(st.BatchColumns))
+	r.metric(prefix+"_symbolic_analyses", float64(st.SymbolicAnalyses))
+	r.metric(prefix+"_numeric_refactors", float64(st.NumericRefactors))
 	r.metric(prefix+"_allocs", float64(st.Allocs))
 	width := 0.0
 	if st.BatchSolves > 0 {

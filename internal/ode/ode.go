@@ -280,12 +280,14 @@ func TrapezoidalSolverCtx(ctx context.Context, sys *qldae.System, x0 []float64, 
 		sparseAssembly = sparseAssembly || (sys.G1S != nil && n >= solver.AutoDenseCutoff)
 	}
 	var eye *sparse.CSR
+	var jb *sparse.Builder
 	if sparseAssembly {
 		eye = sparse.Eye(n)
+		jb = sparse.NewBuilder(n, n)
 	}
 	newtonMatrix := func(xn []float64, u1 []float64, h float64) *solver.Matrix {
 		if sparseAssembly {
-			return solver.FromCSR(sparse.Add(1, eye, -0.5*h, sys.JacobianCSR(xn, u1)))
+			return solver.FromCSR(sparse.Add(1, eye, -0.5*h, sys.JacobianCSRInto(jb, xn, u1)))
 		}
 		jac := sys.Jacobian(xn, u1).Scale(-0.5 * h)
 		for i := 0; i < n; i++ {
@@ -293,6 +295,15 @@ func TrapezoidalSolverCtx(ctx context.Context, sys *qldae.System, x0 []float64, 
 		}
 		return solver.FromDense(jac)
 	}
+	// One symbolic analysis serves the whole transient: Newton matrices
+	// share the Jacobian's sparsity pattern across iterations, steps, and
+	// step-size changes (h scales values, not structure), so every sparse
+	// refactorization after the first is numeric-only unless threshold
+	// pivoting rejects the recorded sequence or the pattern genuinely
+	// moves (a D1 block switching on with its input re-analyzes once).
+	// Either way the factors — and the trajectory — are bit-identical to
+	// factoring fresh every time.
+	var sym solver.SymbolicCache
 	h := tEnd / float64(nSteps)
 	x := mat.CopyVec(x0)
 	res := &Result{}
@@ -337,7 +348,7 @@ func TrapezoidalSolverCtx(ctx context.Context, sys *qldae.System, x0 []float64, 
 			}
 			if fac == nil || (it > 0 && it%newtonRefresh == 0) {
 				var err error
-				fac, err = ls.FactorCtx(ctx, newtonMatrix(xn, u1, h))
+				fac, err = sym.FactorCtx(ctx, ls, newtonMatrix(xn, u1, h))
 				if err != nil {
 					if ctx.Err() != nil {
 						return nil, ctx.Err()

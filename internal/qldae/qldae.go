@@ -256,7 +256,16 @@ func (s *System) Jacobian(x, u []float64) *mat.Dense {
 // blocks. This is the operand the sparse-direct Newton path of
 // ode.Trapezoidal factors once per step.
 func (s *System) JacobianCSR(x, u []float64) *sparse.CSR {
-	b := sparse.NewBuilder(s.N, s.N)
+	return s.JacobianCSRInto(sparse.NewBuilder(s.N, s.N), x, u)
+}
+
+// JacobianCSRInto is JacobianCSR assembling through a caller-owned
+// builder (Reset here before use): the Newton loop of ode.Trapezoidal
+// assembles a same-structure Jacobian thousands of times per transient,
+// and reusing one triplet slab keeps that path from regrowing COO
+// storage on every iteration. The built CSR is fresh either way.
+func (s *System) JacobianCSRInto(b *sparse.Builder, x, u []float64) *sparse.CSR {
+	b.Reset()
 	if s.G1S != nil {
 		g := s.G1S
 		for r := 0; r < g.Rows; r++ {

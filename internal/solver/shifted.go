@@ -28,6 +28,13 @@ type ShiftedCache struct {
 	g, c *Matrix // c == nil means identity
 	ls   LinearSolver
 
+	// sym holds the one symbolic analysis all shifts share: for σ ≠ 0 the
+	// shifted pencil is assembled as the union pattern of G and C (exact
+	// cancellations keep their explicit slots — see sparse.Add), so every
+	// expansion point presents the identical sparsity pattern and a cache
+	// miss pays only the numeric phase after the first factorization.
+	sym SymbolicCache
+
 	factorizations atomic.Int64 // completed factor steps
 	hits           atomic.Int64 // Factor calls served from the cache
 	batchSolves    atomic.Int64 // SolveBatch calls on cached factorizations
@@ -60,6 +67,14 @@ type CacheStats struct {
 	// observable.
 	BatchSolves  int64
 	BatchColumns int64
+	// SymbolicAnalyses counts sparse factorizations that paid the full
+	// symbolic analysis (pattern discovery, RCM, reachability DFS);
+	// NumericRefactors counts those served numeric-only from the cached
+	// pattern. Dense-routed pencils count under neither, so for a sparse
+	// workload Factorizations = SymbolicAnalyses + NumericRefactors and
+	// the refactor share is the symbolic amortization made observable.
+	SymbolicAnalyses int64
+	NumericRefactors int64
 }
 
 // NewShiftedCache prepares a cache over G + σ·C for the given backend
@@ -94,11 +109,14 @@ func (sc *ShiftedCache) N() int { return sc.g.N() }
 
 // Stats reports factorization, hit, and batch-solve counters.
 func (sc *ShiftedCache) Stats() CacheStats {
+	analyses, refactors := sc.sym.Stats()
 	return CacheStats{
-		Factorizations: sc.factorizations.Load(),
-		Hits:           sc.hits.Load(),
-		BatchSolves:    sc.batchSolves.Load(),
-		BatchColumns:   sc.batchColumns.Load(),
+		Factorizations:   sc.factorizations.Load(),
+		Hits:             sc.hits.Load(),
+		BatchSolves:      sc.batchSolves.Load(),
+		BatchColumns:     sc.batchColumns.Load(),
+		SymbolicAnalyses: analyses,
+		NumericRefactors: refactors,
 	}
 }
 
@@ -121,7 +139,7 @@ func (sc *ShiftedCache) FactorCtx(ctx context.Context, sigma float64) (Factoriza
 			e = &shiftEntry{done: make(chan struct{})}
 			sc.entries[sigma] = e
 			sc.mu.Unlock()
-			f, err := sc.ls.FactorCtx(ctx, sc.shifted(sigma))
+			f, err := sc.sym.FactorCtx(ctx, sc.ls, sc.shifted(sigma))
 			if err == nil {
 				sc.factorizations.Add(1)
 				// The counting wrapper is created once and cached, so

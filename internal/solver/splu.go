@@ -50,8 +50,23 @@ const ctxCheckStride = 256
 // factorCSR computes the factorization; a is not modified. ctx is
 // polled every ctxCheckStride columns.
 func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, error) {
+	f, _, err := factorCSRRecord(ctx, a, pivotTol, false)
+	return f, err
+}
+
+// factorCSRRecord is factorCSR with optional symbolic recording: with
+// record set it additionally returns the symbolicLU capturing this
+// factorization's pattern, pivot sequence, and scan orders for later
+// numeric-only refactorizations (symbolic.go). The numeric path is
+// byte-identical either way — recording only copies structure aside.
+// The symbolic result is nil (with a valid factorization) when any L
+// candidate was exactly zero: the fresh path drops such entries, so the
+// recorded pattern would not describe what a fresh factorization of
+// slightly different values does, and the replay's bit-exactness
+// argument needs the recorded L structure to be drop-free.
+func factorCSRRecord(ctx context.Context, a *sparse.CSR, pivotTol float64, record bool) (*spLU, *symbolicLU, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("solver: sparse LU needs a square matrix, got %d×%d", a.Rows, a.Cols)
+		return nil, nil, fmt.Errorf("solver: sparse LU needs a square matrix, got %d×%d", a.Rows, a.Cols)
 	}
 	if pivotTol <= 0 || pivotTol > 1 {
 		pivotTol = defaultPivotTol
@@ -70,7 +85,20 @@ func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, err
 		d:       make([]float64, n),
 	}
 	// CSC view of A (column pointers into row-index/value arrays).
-	colPtr, rowIdx, vals := toCSC(a)
+	colPtr, rowIdx, vals, cscSrc := toCSC(a, record)
+	var rec *symbolicLU
+	if record {
+		rec = &symbolicLU{
+			n:      n,
+			rowPtr: a.RowPtr,
+			colIdx: a.ColIdx,
+			cscPtr: colPtr,
+			cscSrc: cscSrc,
+			pptr:   make([]int32, n+1),
+			prows:  make([]int32, 0, 2*a.NNZ()),
+		}
+	}
+	dropped := false // an exactly-zero L candidate poisons the recording
 	// Static Markowitz row weights: original nonzeros per row.
 	rowCount := make([]int, n)
 	for r := 0; r < n; r++ {
@@ -96,7 +124,7 @@ func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, err
 	for k := 0; k < n; k++ {
 		if k%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		j := f.colperm[k]
@@ -146,6 +174,15 @@ func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, err
 				}
 			}
 		}
+		// The pattern is complete once the DFS ends; record its exact
+		// append order — the pivot replay's strict comparisons make ties
+		// fall to the earliest-scanned row, so scan order is structure.
+		if record {
+			for _, r := range pattern {
+				rec.prows = append(rec.prows, int32(r))
+			}
+			rec.pptr[k+1] = int32(len(rec.prows))
+		}
 		// Numeric left-looking updates in topological (reverse-postorder)
 		// dependency order.
 		for i := len(topo) - 1; i >= 0; i-- {
@@ -171,7 +208,7 @@ func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, err
 			}
 		}
 		if best < 0 || vmax == 0 || (scale > 0 && vmax < 1e-300*scale) {
-			return nil, fmt.Errorf("%w (column %d)", ErrSingular, j)
+			return nil, nil, fmt.Errorf("%w (column %d)", ErrSingular, j)
 		}
 		pivot := best
 		bestCount := rowCount[pivot]
@@ -194,16 +231,31 @@ func factorCSR(ctx context.Context, a *sparse.CSR, pivotTol float64) (*spLU, err
 			if v := x[r]; v != 0 {
 				f.lidx = append(f.lidx, int32(r))
 				f.lval = append(f.lval, v/piv)
+			} else {
+				dropped = true
 			}
 		}
 		f.lptr[k+1] = int32(len(f.lidx))
 		f.uptr[k+1] = int32(len(f.uidx))
 	}
-	return f, nil
+	if record && !dropped {
+		rec.colperm = f.colperm
+		rec.prow = f.prow
+		rec.lptr, rec.lidx = f.lptr, f.lidx
+		rec.uptr, rec.uidx = f.uptr, f.uidx
+		rec.rowStepAll = rowStep
+		rec.rowCount = rowCount
+		rec.levelPtr, rec.levelSteps, rec.maxWidth = levelSchedule(f.uptr, f.uidx, n)
+		return f, rec, nil
+	}
+	return f, nil, nil
 }
 
-// toCSC builds column-compressed access to a CSR matrix.
-func toCSC(a *sparse.CSR) (colPtr, rowIdx []int, vals []float64) {
+// toCSC builds column-compressed access to a CSR matrix. With withSrc
+// it also returns each CSC slot's CSR value index — the gather map a
+// symbolic recording keeps so numeric refactorizations can re-scatter
+// fresh values without rebuilding the CSC (src is nil otherwise).
+func toCSC(a *sparse.CSR, withSrc bool) (colPtr, rowIdx []int, vals []float64, src []int32) {
 	n := a.Cols
 	colPtr = make([]int, n+1)
 	for _, c := range a.ColIdx {
@@ -214,16 +266,22 @@ func toCSC(a *sparse.CSR) (colPtr, rowIdx []int, vals []float64) {
 	}
 	rowIdx = make([]int, len(a.ColIdx))
 	vals = make([]float64, len(a.Val))
+	if withSrc {
+		src = make([]int32, len(a.Val))
+	}
 	next := append([]int(nil), colPtr...)
 	for r := 0; r < a.Rows; r++ {
 		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
 			c := a.ColIdx[k]
 			rowIdx[next[c]] = r
 			vals[next[c]] = a.Val[k]
+			if withSrc {
+				src[next[c]] = int32(k)
+			}
 			next[c]++
 		}
 	}
-	return colPtr, rowIdx, vals
+	return colPtr, rowIdx, vals, src
 }
 
 // N returns the matrix dimension.

@@ -44,6 +44,12 @@ func NewBuilder(rows, cols int) *Builder {
 	return &Builder{rows: rows, cols: cols}
 }
 
+// Reset empties the builder for reuse, keeping its entry capacity, so
+// assembly loops that rebuild a same-shape matrix many times — the
+// per-Newton-iteration Jacobians of a stiff transient — amortize the
+// triplet slab instead of regrowing it every call.
+func (b *Builder) Reset() { b.entries = b.entries[:0] }
+
 // Add accumulates v at (r, c).
 func (b *Builder) Add(r, c int, v float64) {
 	if r < 0 || r >= b.rows || c < 0 || c >= b.cols {

@@ -99,8 +99,12 @@ type ReducerStats struct {
 	// was paid when the artifact was first built): shifted-pencil factor
 	// steps, block back-solve calls, and the RHS columns those blocks
 	// carried. BatchColumns/BatchSolves is the realized multi-RHS
-	// batching width of the fleet.
+	// batching width of the fleet. SymbolicAnalyses/NumericRefactors
+	// split the sparse factor steps into full symbolic analyses vs
+	// numeric-only refills of a cached pattern — the refactor share is
+	// the symbolic/numeric split's amortization across the fleet.
 	Factorizations, BatchSolves, BatchColumns int64
+	SymbolicAnalyses, NumericRefactors        int64
 	// CachedROMs is the current cache population; InFlight the
 	// reductions currently executing.
 	CachedROMs, InFlight int
@@ -333,6 +337,8 @@ func (rd *Reducer) fill(ctx context.Context, sys *System, method string, cfg *co
 	rd.stats.Factorizations += st.Factorizations
 	rd.stats.BatchSolves += st.BatchSolves
 	rd.stats.BatchColumns += st.BatchColumns
+	rd.stats.SymbolicAnalyses += st.SymbolicAnalyses
+	rd.stats.NumericRefactors += st.NumericRefactors
 	rd.mu.Unlock()
 	rom.shared = true
 	rd.ensureStored(key, rom)

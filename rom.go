@@ -57,6 +57,15 @@ type Stats struct {
 	BatchSolves  int64
 	BatchColumns int64
 	Allocs       uint64
+	// SymbolicAnalyses counts the sparse factor steps that paid a full
+	// symbolic analysis (fill-pattern DFS, RCM preorder, CSC conversion)
+	// and NumericRefactors those served numeric-only from the pencil's
+	// cached symbolic object: all expansion shifts of a reduction share
+	// one sparsity pattern, so after the first factorization the rest
+	// refill values into a precomputed structure. Dense-backend builds
+	// report zero for both. Not serialized into ROM artifacts.
+	SymbolicAnalyses int64
+	NumericRefactors int64
 }
 
 // Order returns the reduced dimension q.
@@ -97,6 +106,9 @@ func (r *ROM) Stats() Stats {
 		BatchSolves:    s.BatchSolves,
 		BatchColumns:   s.BatchColumns,
 		Allocs:         s.Allocs,
+
+		SymbolicAnalyses: s.SymbolicAnalyses,
+		NumericRefactors: s.NumericRefactors,
 	}
 }
 

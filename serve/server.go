@@ -331,6 +331,8 @@ func (s *Server) initVars() {
 	gauge("solver_factorizations", rstat(func(st avtmor.ReducerStats) any { return st.Factorizations }))
 	gauge("solver_batch_solves", rstat(func(st avtmor.ReducerStats) any { return st.BatchSolves }))
 	gauge("solver_batch_columns", rstat(func(st avtmor.ReducerStats) any { return st.BatchColumns }))
+	gauge("solver_symbolic_analyses", rstat(func(st avtmor.ReducerStats) any { return st.SymbolicAnalyses }))
+	gauge("solver_numeric_refactors", rstat(func(st avtmor.ReducerStats) any { return st.NumericRefactors }))
 	gauge("evictions", rstat(func(st avtmor.ReducerStats) any { return st.Evictions }))
 	gauge("cached_roms", rstat(func(st avtmor.ReducerStats) any { return st.CachedROMs }))
 	gauge("inflight_reductions", rstat(func(st avtmor.ReducerStats) any { return st.InFlight }))
