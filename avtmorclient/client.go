@@ -18,15 +18,23 @@
 // does. A key-verification guard (server's X-Avtmor-Rom-Key must
 // equal the client-computed digest) turns any client/server grammar
 // drift into a loud error instead of silent mis-placement.
+//
+// Every logical operation mints one X-Avtmor-Request-Id shared across
+// its retries and failovers, so a single client call is one grep in
+// the fleet's access logs; the server's echoed ID and admission cost
+// surface on ReduceResult (RequestID, Cost) and on StatusError for
+// rejected calls.
 package avtmorclient
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
-	"math/rand/v2"
+	mrand "math/rand/v2"
 	"net"
 	"net/http"
 	"net/url"
@@ -242,6 +250,13 @@ type ReduceResult struct {
 	Raw []byte
 	// ROM is the parsed artifact.
 	ROM *avtmor.ROM
+	// Cost is the server's admission-cost estimate for the request
+	// (X-Avtmor-Cost), 0 when the server did not price it.
+	Cost int64
+	// RequestID is the trace ID the fleet logged this request under —
+	// the ID this client minted, echoed back in X-Avtmor-Request-Id.
+	// Quote it when correlating a result with server access logs.
+	RequestID string
 }
 
 // Reduce submits one netlist or serialized-System body with the given
@@ -257,12 +272,14 @@ func (c *Client) Reduce(ctx context.Context, body []byte, params url.Values) (*R
 	if enc := params.Encode(); enc != "" {
 		u += "?" + enc
 	}
+	rid := newRequestID()
 	resp, err := c.do(ctx, digest, func(node string) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+node+u, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(headerRequestID, rid)
 		return req, nil
 	})
 	if err != nil {
@@ -289,7 +306,14 @@ func (c *Client) Reduce(ctx context.Context, body []byte, params url.Values) (*R
 		return nil, fmt.Errorf("avtmorclient: parsing ROM: %w", err)
 	}
 	c.remember(digest, raw)
-	return &ReduceResult{Key: digest, Raw: raw, ROM: rom}, nil
+	res := &ReduceResult{Key: digest, Raw: raw, ROM: rom, RequestID: rid}
+	if echoed := resp.Header.Get(headerRequestID); echoed != "" {
+		res.RequestID = echoed
+	}
+	if cost, err := strconv.ParseInt(resp.Header.Get(headerCost), 10, 64); err == nil {
+		res.Cost = cost
+	}
+	return res, nil
 }
 
 // BatchItem is one per-input outcome of ReduceBatch, in input order.
@@ -391,12 +415,14 @@ func (c *Client) submitBatch(ctx context.Context, node string, idxs []int, sub [
 	if enc := params.Encode(); enc != "" {
 		u += "?" + enc
 	}
+	rid := newRequestID()
 	resp, err := c.doNodeFirst(ctx, node, func(n string) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+n+u, bytes.NewReader(frame.Bytes()))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", wire.BatchContentType)
+		req.Header.Set(headerRequestID, rid)
 		return req, nil
 	})
 	if err != nil {
@@ -424,11 +450,13 @@ func (c *Client) GetROM(ctx context.Context, digest string) ([]byte, error) {
 	c.mu.Lock()
 	cached := c.cache[digest]
 	c.mu.Unlock()
+	rid := newRequestID()
 	resp, err := c.do(ctx, digest, func(node string) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+node+"/v1/roms/"+digest, nil)
 		if err != nil {
 			return nil, err
 		}
+		req.Header.Set(headerRequestID, rid)
 		if cached != nil {
 			req.Header.Set("If-None-Match", `"`+digest+`"`)
 		}
@@ -583,7 +611,7 @@ func retryDelay(resp *http.Response, base time.Duration, attempt int) time.Durat
 		d = 5 * time.Second
 	}
 	// Full ±50% jitter decorrelates a thundering herd of retriers.
-	return d/2 + time.Duration(rand.Int64N(int64(d)))
+	return d/2 + time.Duration(mrand.Int64N(int64(d)))
 }
 
 func (c *Client) sleep(ctx context.Context, d time.Duration) error {
@@ -606,23 +634,50 @@ func (c *Client) statusError(resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(msg))}
+	return &StatusError{
+		Code:      resp.StatusCode,
+		Message:   string(bytes.TrimSpace(msg)),
+		RequestID: resp.Header.Get(headerRequestID),
+	}
 }
 
 // StatusError is a non-200 answer from the fleet.
 type StatusError struct {
 	Code    int
 	Message string
+	// RequestID is the trace ID the fleet logged the failing request
+	// under (X-Avtmor-Request-Id), "" when the server did not echo one.
+	RequestID string
 }
 
 func (e *StatusError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("avtmorclient: server answered %d: %s (request %s)", e.Code, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("avtmorclient: server answered %d: %s", e.Code, e.Message)
 }
 
-// headerEpoch is the fleet's membership-epoch response header
-// (serve.HeaderEpoch, spelled out to keep the client importable
-// without the serving tier).
-const headerEpoch = "X-Avtmor-Epoch"
+// Fleet headers, spelled out to keep the client importable without
+// the serving tier (serve.HeaderEpoch, serve.HeaderRequestID,
+// serve.HeaderCost).
+const (
+	headerEpoch     = "X-Avtmor-Epoch"
+	headerRequestID = "X-Avtmor-Request-Id"
+	headerCost      = "X-Avtmor-Cost"
+)
+
+// newRequestID mints the trace ID for one logical client operation: 16
+// hex characters, the same shape the serving tier mints for requests
+// that arrive without one. The ID is shared across that operation's
+// retries and failovers, so the fleet's access logs show every attempt
+// under one ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "client-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // noteEpoch inspects the epoch header a fleet node attached to its
 // response. The first epoch seen is adopted as the baseline; a later,

@@ -70,7 +70,7 @@ func startFleet(t testing.TB, n int) *fleet {
 
 func fleetMetrics(t testing.TB, url string) map[string]any {
 	t.Helper()
-	resp, err := http.Get(url + "/metrics")
+	resp, err := http.Get(url + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

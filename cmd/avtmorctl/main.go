@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	avtmorctl reduce -nodes HOST:PORT[,HOST:PORT...] [-q QUERY] [-o FILE] NETLIST
-//	avtmorctl batch  -nodes ... [-q QUERY] [-out DIR] NETLIST...
-//	avtmorctl get    -nodes ... [-o FILE] [-revalidate] DIGEST
+//	avtmorctl reduce  -nodes HOST:PORT[,HOST:PORT...] [-q QUERY] [-o FILE] NETLIST
+//	avtmorctl batch   -nodes ... [-q QUERY] [-out DIR] NETLIST...
+//	avtmorctl get     -nodes ... [-o FILE] [-revalidate] DIGEST
+//	avtmorctl metrics -nodes ... [-nonzero NAME]...
 //
 // reduce prints the artifact's content address on stdout and writes
 // the ROM to -o when given. batch prints one line per item
@@ -21,6 +22,12 @@
 //
 // QUERY is the reduce query string, e.g. 'k1=4&k2=2&s0=0.4' — the
 // same parameters POST /v1/reduce accepts.
+//
+// metrics scrapes GET /metrics on every node, validates the Prometheus
+// text exposition (metadata before samples, histogram bucket
+// invariants), prints per-node sample counts, and with each repeatable
+// -nonzero NAME asserts that NAME sums to a positive value across the
+// fleet — CI uses it as an exposition smoke test.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"avtmor/avtmorclient"
+	"avtmor/internal/promtext"
 )
 
 func main() {
@@ -54,6 +62,8 @@ func main() {
 		err = cmdGet(args)
 	case "cluster":
 		err = cmdCluster(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -73,7 +83,8 @@ func usage() {
   avtmorctl reduce -nodes HOST:PORT[,...] [-q QUERY] [-o FILE] NETLIST
   avtmorctl batch  -nodes HOST:PORT[,...] [-q QUERY] [-out DIR] NETLIST...
   avtmorctl get    -nodes HOST:PORT[,...] [-o FILE] [-revalidate] DIGEST
-  avtmorctl cluster -nodes HOST:PORT[,...] [-verify]`)
+  avtmorctl cluster -nodes HOST:PORT[,...] [-verify]
+  avtmorctl metrics -nodes HOST:PORT[,...] [-nonzero NAME]...`)
 }
 
 // fleetFlags installs the flags every subcommand shares.
@@ -317,6 +328,91 @@ func cmdCluster(args []string) error {
 	}
 	fmt.Printf("verify ok: %d keys fully replicated\n", len(all))
 	return nil
+}
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// cmdMetrics scrapes every node's Prometheus endpoint through the
+// validating exposition parser, so a malformed scrape — metadata after
+// samples, a non-cumulative histogram, a duplicate series — fails the
+// command, not just a dashboard somewhere. Each -nonzero NAME then
+// asserts that NAME's samples sum to > 0 across the fleet (counters
+// prove traffic actually flowed; per-node values may legitimately be
+// zero on nodes the ring never placed work on).
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	nodes, _, timeout := fleetFlags(fs)
+	var nonzero stringList
+	fs.Var(&nonzero, "nonzero", "metric name that must sum to > 0 across the fleet (repeatable)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("metrics takes no positional arguments")
+	}
+	if *nodes == "" {
+		return fmt.Errorf("-nodes is required")
+	}
+	var list []string
+	for _, n := range strings.Split(*nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			list = append(list, n)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	sums := map[string]float64{}
+	for _, node := range list {
+		scrape, samples, err := scrapeNode(ctx, node)
+		if err != nil {
+			return fmt.Errorf("node %s: %w", node, err)
+		}
+		fmt.Printf("%-21s %d families, %d samples\n", node, len(scrape.Families()), samples)
+		for _, name := range nonzero {
+			if v, ok := scrape.Value(name); ok {
+				sums[name] += v
+			}
+		}
+	}
+	for _, name := range nonzero {
+		if !(sums[name] > 0) {
+			return fmt.Errorf("metric %s sums to %g across the fleet, want > 0", name, sums[name])
+		}
+		fmt.Printf("nonzero ok: %s = %g\n", name, sums[name])
+	}
+	return nil
+}
+
+// scrapeNode fetches and validates one node's exposition.
+func scrapeNode(ctx context.Context, node string) (*promtext.Scrape, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+node+"/metrics", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, fmt.Errorf("/metrics answered %d", resp.StatusCode)
+	}
+	scrape, err := promtext.Parse(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("invalid exposition: %w", err)
+	}
+	samples := 0
+	for _, name := range scrape.Families() {
+		samples += len(scrape.Family(name).Samples)
+	}
+	return scrape, samples, nil
 }
 
 // healthOf probes one node's /healthz.

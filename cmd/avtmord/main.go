@@ -12,7 +12,19 @@
 //	        [-cache-limit N] [-grace D] [-drain-notice D]
 //	        [-node HOST:PORT -peers HOST:PORT,HOST:PORT,...]
 //	        [-replicas N] [-join HOST:PORT] [-leave] [-anti-entropy D]
-//	        [-pprof HOST:PORT]
+//	        [-cost-budget N] [-quota [KEY=]RATE:BURST]...
+//	        [-access-log FILE] [-pprof HOST:PORT]
+//
+// Operability (docs/OPERATIONS.md has the full runbook): GET /metrics
+// serves Prometheus text exposition, GET /metrics.json the legacy
+// expvar JSON. -cost-budget bounds the total estimated cost of
+// concurrently admitted work (expensive reduces queue behind their own
+// kind while cheap ones keep flowing; the estimate is returned in
+// X-Avtmor-Cost). -quota attaches a token bucket to an API key (the
+// X-Avtmor-Api-Key header); the form without KEY= sets the default
+// bucket shared by unkeyed clients. -access-log appends one JSON line
+// per request ("-" for stdout), each carrying the request ID that
+// X-Avtmor-Request-Id propagates across the fleet.
 //
 // -pprof exposes net/http/pprof on its own listener (off by default;
 // bind it to loopback): profiling never rides the serving listener, so
@@ -61,6 +73,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -72,10 +85,39 @@ import (
 	"syscall"
 	"time"
 
+	"avtmor/internal/quota"
 	"avtmor/serve"
 )
 
 const defaultAddr = "127.0.0.1:8472"
+
+// quotaFlags collects repeatable -quota [KEY=]RATE:BURST values into a
+// serve.Config.Quotas map.
+type quotaFlags struct {
+	specs map[string]serve.QuotaSpec
+}
+
+func (q *quotaFlags) String() string { return fmt.Sprintf("%v", q.specs) }
+
+func (q *quotaFlags) Set(v string) error {
+	key := ""
+	specText := v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		key, specText = v[:i], v[i+1:]
+	}
+	spec, err := quota.ParseSpec(specText)
+	if err != nil {
+		return err
+	}
+	if q.specs == nil {
+		q.specs = map[string]serve.QuotaSpec{}
+	}
+	if _, dup := q.specs[key]; dup {
+		return fmt.Errorf("duplicate -quota for key %q", key)
+	}
+	q.specs[key] = spec
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", defaultAddr, "listen address (port 0 picks an ephemeral port; defaults to -node in cluster mode)")
@@ -91,6 +133,10 @@ func main() {
 	join := flag.String("join", "", "existing fleet node to join through at startup (dynamic membership; implies -peers of just that seed and -node)")
 	leave := flag.Bool("leave", false, "announce departure to the fleet on drain (epoch bump) instead of relying on anti-entropy")
 	antiEntropy := flag.Duration("anti-entropy", 0, "anti-entropy sweep interval (0 = default 5s in cluster mode with a store; negative disables)")
+	costBudget := flag.Int64("cost-budget", 0, "concurrent admission budget in cost units (0 = default 1024)")
+	var quotas quotaFlags
+	flag.Var(&quotas, "quota", "token-bucket quota [KEY=]RATE:BURST; repeatable; no KEY= sets the default bucket")
+	accessLog := flag.String("access-log", "", "append one JSON access-log line per request to this file (\"-\" = stdout); empty disables")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
 	log.SetPrefix("avtmord: ")
@@ -149,6 +195,19 @@ func main() {
 	if qd == 0 {
 		qd = -1 // the flag's 0 means "no queue"; Config's 0 means "default"
 	}
+	var logSink io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logSink = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening access log: %v", err)
+		}
+		defer f.Close()
+		logSink = f
+	}
 	s, err := serve.New(serve.Config{
 		StoreDir:            *dir,
 		Workers:             *workers,
@@ -158,6 +217,9 @@ func main() {
 		Peers:               peerList,
 		Replicas:            *replicas,
 		AntiEntropyInterval: *antiEntropy,
+		CostBudget:          *costBudget,
+		Quotas:              quotas.specs,
+		AccessLog:           logSink,
 	})
 	if err != nil {
 		log.Fatal(err)

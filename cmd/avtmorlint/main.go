@@ -141,9 +141,10 @@ var scopes = map[string]func(base string, root bool) bool{
 		return root || base == "core" || base == "assoc" || base == "qldae" || base == "replica"
 	},
 	"cappedread": func(base string, root bool) bool {
-		// replica decodes peer-supplied key lists and membership JSON —
-		// wire-tier trust level, wire-tier read caps.
-		return root || base == "wire" || base == "replica"
+		// replica decodes peer-supplied key lists and membership JSON,
+		// promtext parses scraped expositions (avtmorctl feeds it fleet
+		// responses) — wire-tier trust level, wire-tier read caps.
+		return root || base == "wire" || base == "replica" || base == "promtext"
 	},
 }
 

@@ -76,6 +76,7 @@ func TestAnalyzerScopes(t *testing.T) {
 		{mod + "/internal/assoc", []string{"ctxflow", "wspool", "detrom", "lockedfield"}},
 		{mod + "/internal/qldae", []string{"ctxflow", "wspool", "detrom", "lockedfield"}},
 		{mod + "/internal/wire", []string{"ctxflow", "wspool", "cappedread", "lockedfield"}},
+		{mod + "/internal/promtext", []string{"ctxflow", "wspool", "cappedread", "lockedfield"}},
 		{mod + "/internal/ode", []string{"ctxflow", "wspool", "lockedfield"}},
 		{mod + "/serve", []string{"ctxflow", "wspool", "lockedfield"}},
 	}

@@ -29,5 +29,8 @@
 // cmd/avtmor regenerates every table and figure of the paper's
 // evaluation; bench_test.go wraps the same experiments as benchmarks.
 // The serve subpackage and cmd/avtmord expose the whole engine as an
-// HTTP service with a content-addressed on-disk artifact store.
+// HTTP service with a content-addressed on-disk artifact store,
+// Prometheus metrics, cost-aware admission, and per-client quotas
+// (docs/OPERATIONS.md is the operator runbook, docs/API.md the wire
+// surface); avtmorclient is the matching ring-aware Go client.
 package avtmor

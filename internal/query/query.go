@@ -23,11 +23,22 @@ import (
 
 // Request is a parsed reduce request: the option set that (with the
 // system) determines the canonical cache key, the method switch, and
-// the per-request deadline.
+// the per-request deadline. The cost-model fields (K1..K3, Auto,
+// Shifts) mirror the order selection so the serving tier can price a
+// request before running it — they do not affect the cache key, which
+// is derived from Opts alone.
 type Request struct {
 	Opts    []avtmor.Option
 	Norm    bool
 	Timeout time.Duration
+
+	// K1, K2, K3 are the explicit moment counts, zero when Auto.
+	K1, K2, K3 int
+	// Auto reports Hankel auto-order selection (order unknown until
+	// the reduction runs).
+	Auto bool
+	// Shifts is the number of expansion points: 1 plus any xp extras.
+	Shifts int
 }
 
 // Key returns the canonical cache key of sys under this request — the
@@ -131,14 +142,17 @@ func Parse(q url.Values) (*Request, error) {
 		return nil, errf("auto and k1/k2/k3 are mutually exclusive")
 	case hasAuto:
 		req.Opts = append(req.Opts, avtmor.WithAutoOrders(auto))
+		req.Auto = true
 	case hasK:
 		if k1+k2+k3 == 0 {
 			return nil, errf("explicit orders need at least one positive count (or drop them for auto selection)")
 		}
 		req.Opts = append(req.Opts, avtmor.WithOrders(k1, k2, k3))
+		req.K1, req.K2, req.K3 = k1, k2, k3
 	default:
 		// No order selection at all: pick them from the Hankel decay.
 		req.Opts = append(req.Opts, avtmor.WithAutoOrders(0))
+		req.Auto = true
 	}
 
 	s0, hasS0, err := getFloat("s0")
@@ -158,6 +172,7 @@ func Parse(q url.Values) (*Request, error) {
 	if hasS0 || len(extra) > 0 {
 		req.Opts = append(req.Opts, avtmor.WithExpansion(s0, extra...))
 	}
+	req.Shifts = 1 + len(extra)
 
 	if tol, ok, err := getFloat("droptol"); err != nil {
 		return nil, err

@@ -25,6 +25,10 @@ import (
 // when every waiter has given up (so one impatient client cannot kill
 // work others still want). Abandoned reductions are not cached; the
 // next request recomputes.
+//
+// Every outcome is counted in Stats; the serving tier bridges those
+// counters onto its metrics endpoints (docs/METRICS.md), so Reducer
+// accounting is fleet observability.
 type Reducer struct {
 	mu       sync.Mutex
 	cache    map[string]*list.Element // guarded by mu; key → entry in lru

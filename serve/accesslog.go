@@ -1,0 +1,177 @@
+package serve
+
+// Request tracing and the structured access log. Every request gets a
+// request ID — minted at the entry node, honored when a forwarding
+// peer (or a tracing client) already attached one — and the ID rides
+// X-Avtmor-Request-Id across forwards, replica pushes, and batch
+// fan-out, so one grep over the fleet's access logs follows a request
+// end to end. The access log itself is one JSON object per line,
+// written after the response completes.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HeaderRequestID carries the request's trace ID. The entry node mints
+// one when the client did not; peers receiving a forwarded request
+// reuse it.
+const HeaderRequestID = "X-Avtmor-Request-Id"
+
+// ridKey is the context key the request ID travels under inside the
+// process (handlers, afterWrite replica pushes).
+type ridKey struct{}
+
+// requestID returns the trace ID attached to ctx, or "".
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// mintRequestID returns 16 random hex characters.
+func mintRequestID() string {
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts client- or peer-supplied IDs: 1–64
+// characters from the URL- and log-safe set. Anything else is
+// replaced at the door, so log lines stay greppable and header
+// injection stays impossible.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// accessRecord is one access-log line.
+type accessRecord struct {
+	Time      string  `json:"time"`
+	RequestID string  `json:"request_id"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Query     string  `json:"query,omitempty"`
+	Status    int     `json:"status"`
+	Bytes     int64   `json:"bytes"`
+	DurMS     float64 `json:"duration_ms"`
+	Remote    string  `json:"remote,omitempty"`
+	APIKey    string  `json:"api_key,omitempty"`
+	Forwarded string  `json:"forwarded_from,omitempty"`
+	Cost      string  `json:"cost,omitempty"`
+	Node      string  `json:"node,omitempty"`
+}
+
+// statusWriter records the status and byte count a handler produced.
+// It deliberately implements io.ReaderFrom by delegation so the
+// zero-copy GET path (http.ServeContent → sendfile) survives the
+// wrapping.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// ReadFrom keeps the response sendfile-eligible: io.Copy in
+// http.ServeContent probes for io.ReaderFrom on the writer it is
+// handed, and a wrapper without this method would silently downgrade
+// artifact GETs to a userspace copy loop.
+func (sw *statusWriter) ReadFrom(r io.Reader) (int64, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := io.Copy(sw.ResponseWriter, r)
+	sw.bytes += n
+	return n, err
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer
+// (flush, hijack) through the wrapper.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// withObservability is the outermost middleware: resolve the request
+// ID (mint, or adopt a valid inbound one), expose it on the response
+// and the request context, time the handler, and emit one access-log
+// line when a log sink is configured.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(HeaderRequestID)
+		if !validRequestID(rid) {
+			rid = mintRequestID()
+		}
+		w.Header().Set(HeaderRequestID, rid)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.httpLatency.Observe(elapsed.Seconds())
+		if s.cfg.AccessLog == nil {
+			return
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		rec := accessRecord{
+			Time:      start.UTC().Format(time.RFC3339Nano),
+			RequestID: rid,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Query:     r.URL.RawQuery,
+			Status:    status,
+			Bytes:     sw.bytes,
+			DurMS:     float64(elapsed.Microseconds()) / 1000,
+			Remote:    r.RemoteAddr,
+			APIKey:    r.Header.Get(HeaderAPIKey),
+			Forwarded: r.Header.Get(HeaderForwarded),
+			Cost:      sw.Header().Get(HeaderCost),
+			Node:      s.cfg.Node,
+		}
+		s.logAccess(&rec)
+	})
+}
+
+// logAccess emits one JSON line; logMu serializes writers so
+// concurrent handlers never interleave lines into one another.
+func (s *Server) logAccess(rec *accessRecord) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(line)
+	s.logMu.Unlock()
+}

@@ -48,7 +48,13 @@ func (s *Server) handleReduceBatch(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "reading batch: %v", err)
 		return
 	}
+	// A batch draws one quota token per item: N reduces in one frame
+	// and N single POSTs cost a client the same.
+	if !s.checkQuota(w, r, float64(len(items))) {
+		return
+	}
 	s.batchItems.Add(int64(len(items)))
+	s.batchWidth.Observe(float64(len(items)))
 	ctx := r.Context()
 	if req.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -59,6 +65,7 @@ func (s *Server) handleReduceBatch(w http.ResponseWriter, r *http.Request) {
 	results := make([]wire.Result, len(items))
 	states := make([]*batchItem, len(items))
 	var local []int
+	var totalCost int64
 	groups := map[string][]int{}
 
 	// One forwarded-hop check for the whole batch: a sub-batch from a
@@ -77,8 +84,9 @@ func (s *Server) handleReduceBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		key := req.Key(sys)
-		it := &batchItem{sys: sys, key: key, digest: store.Digest(key)}
+		it := &batchItem{sys: sys, key: key, digest: store.Digest(key), cost: estimateCost(sys, req)}
 		states[i] = it
+		totalCost += it.cost
 		owner := ""
 		if cs := s.cluster; cs != nil && !forwarded {
 			// Batch items forward to the primary replica only: the
@@ -115,6 +123,10 @@ func (s *Server) handleReduceBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		groups[owner] = append(groups[owner], i)
 	}
+
+	// The envelope estimate covers every parsed item, local or
+	// forwarded — what this batch asks of the fleet as a whole.
+	setCost(w, totalCost)
 
 	var wg sync.WaitGroup
 	for _, i := range local {
@@ -172,15 +184,28 @@ type batchItem struct {
 	sys    *avtmor.System
 	key    string
 	digest string
+	cost   int64
 }
 
 // batchItemLocal reduces one item on the worker pool, mapping failures
-// through the same status taxonomy as single requests.
+// through the same status taxonomy as single requests. Each item is
+// admitted against the cost budget individually, so a batch of heavy
+// items self-paces instead of reserving the fleet in one gulp.
 func (s *Server) batchItemLocal(ctx context.Context, it *batchItem, req *query.Request) wire.Result {
 	reduce := s.reducer.Reduce
 	if req.Norm {
 		reduce = s.reducer.ReduceNORM
 	}
+	admitCtx, cancel := context.WithTimeout(ctx, admitWindow)
+	release, err := s.adm.admit(admitCtx, it.cost)
+	cancel()
+	if err != nil {
+		s.admissionRejected.Add(1)
+		s.countError(http.StatusTooManyRequests)
+		return wire.Result{Status: http.StatusTooManyRequests, Key: it.digest,
+			Body: []byte(fmt.Sprintf("admission budget exhausted (item cost %d)", it.cost))}
+	}
+	defer release()
 	had := s.hasLocal(it.digest)
 	var (
 		rom  *avtmor.ROM
@@ -200,7 +225,7 @@ func (s *Server) batchItemLocal(ctx context.Context, it *batchItem, req *query.R
 	}
 	s.remember(it.digest, rom)
 	if !had {
-		s.afterWrite(it.digest, rom)
+		s.afterWrite(ctx, it.digest, rom)
 	}
 	return romResult(it.digest, rom)
 }
@@ -239,6 +264,9 @@ func (s *Server) relayBatch(ctx context.Context, owner, rawQuery string, bodies 
 	req.Header.Set(HeaderForwarded, cs.self)
 	req.Header.Set(HeaderEpoch, strconv.FormatUint(cs.state.Epoch(), 10))
 	req.Header.Set("Content-Type", wire.BatchContentType)
+	if rid := requestID(ctx); rid != "" {
+		req.Header.Set(HeaderRequestID, rid)
+	}
 	resp, err := cs.hc.Do(req)
 	if err != nil {
 		pv.forwardErrors.Add(1)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"avtmor/internal/cluster"
+	"avtmor/internal/promtext"
 	"avtmor/internal/replica"
 )
 
@@ -49,6 +50,8 @@ type clusterState struct {
 
 	sweeper    *replica.Sweeper // nil without a store or with sweeps disabled
 	refreshing atomic.Bool      // one membership refresh in flight at a time
+
+	promReg *promtext.Registry // set by initProm; nil during construction
 
 	mu       sync.Mutex
 	peers    map[string]*peerVars // guarded by mu; normalized peer addr → counters (self excluded)
@@ -137,11 +140,10 @@ func newClusterState(cfg Config) (*clusterState, error) {
 }
 
 // peerVar returns the counter pair for a peer, creating (and mounting
-// under /metrics → cluster.peers) one the first time a dynamically
-// joined peer is addressed.
+// under /metrics.json → cluster.peers plus the labeled Prometheus
+// children) one the first time a dynamically joined peer is addressed.
 func (cs *clusterState) peerVar(addr string) *peerVars {
 	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	pv, ok := cs.peers[addr]
 	if !ok {
 		pv = &peerVars{}
@@ -150,6 +152,12 @@ func (cs *clusterState) peerVar(addr string) *peerVars {
 		pm.Set("forwards", &pv.forwards)
 		pm.Set("forward_errors", &pv.forwardErrors)
 		cs.peersVar.Set(addr, pm)
+	}
+	cs.mu.Unlock()
+	if !ok {
+		// Outside cs.mu: registration takes the registry lock, and a
+		// scrape holding that lock reads gauges that may want cs.mu.
+		cs.promPeer(addr)
 	}
 	return pv
 }
@@ -251,11 +259,15 @@ func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, bod
 	}
 	req.Header.Set(HeaderForwarded, cs.self)
 	req.Header.Set(HeaderEpoch, strconv.FormatUint(cs.state.Epoch(), 10))
-	for _, h := range []string{"Content-Type", "Accept", "If-None-Match", "If-Modified-Since"} {
+	if rid := requestID(r.Context()); rid != "" {
+		req.Header.Set(HeaderRequestID, rid)
+	}
+	for _, h := range []string{"Content-Type", "Accept", "If-None-Match", "If-Modified-Since", HeaderAPIKey} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
 		}
 	}
+	start := time.Now()
 	resp, err := cs.hc.Do(req)
 	if err != nil {
 		pv.forwardErrors.Add(1)
@@ -274,6 +286,7 @@ func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, bod
 	for _, h := range []string{
 		"Content-Type", "Content-Length", "ETag", "Last-Modified",
 		"X-Avtmor-Rom-Key", "X-Avtmor-Rom-Order", "Retry-After",
+		HeaderCost,
 	} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
@@ -281,6 +294,9 @@ func (s *Server) relay(w http.ResponseWriter, r *http.Request, owner string, bod
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+	if s.forwardLatency != nil {
+		s.forwardLatency.Observe(time.Since(start).Seconds())
+	}
 	return true
 }
 

@@ -39,6 +39,12 @@ type clusterNode struct {
 // Listeners are created first so every node knows the full address set
 // before any server starts.
 func startCluster(t testing.TB, n int) []*clusterNode {
+	return startClusterCfg(t, n, nil)
+}
+
+// startClusterCfg is startCluster with a per-node Config hook, applied
+// after the shared fields are set (access-log sinks, quotas, budgets).
+func startClusterCfg(t testing.TB, n int, mut func(i int, cfg *serve.Config)) []*clusterNode {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -52,12 +58,16 @@ func startCluster(t testing.TB, n int) []*clusterNode {
 	}
 	nodes := make([]*clusterNode, n)
 	for i := range nodes {
-		s, err := serve.New(serve.Config{
+		cfg := serve.Config{
 			StoreDir: t.TempDir(),
 			Workers:  2,
 			Node:     addrs[i],
 			Peers:    addrs,
-		})
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		s, err := serve.New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,11 +96,11 @@ func (n *clusterNode) kill(t testing.TB) {
 	n.s.Close()
 }
 
-// metricsAny fetches /metrics without assuming flat values (the
+// metricsAny fetches /metrics.json without assuming flat values (the
 // cluster section is a nested object).
 func metricsAny(t testing.TB, base string) map[string]any {
 	t.Helper()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,236 @@
+package serve
+
+// The Prometheus face of the server: GET /metrics renders an
+// internal/promtext registry whose counters and gauges read the same
+// cells /metrics.json reports (no double bookkeeping — the expvar
+// surface stays the single source of truth for counts), plus the
+// latency histograms that JSON surface never had. Cluster gauges that
+// must be mutually consistent (epoch, node count, replication factor)
+// are filled from ONE membership snapshot taken in an OnScrape
+// prelude, so a scrape racing a membership transition can never
+// observe a torn combination like the new epoch with the old node
+// count.
+
+import (
+	"expvar"
+	"net/http"
+
+	"avtmor"
+	"avtmor/internal/promtext"
+	"avtmor/internal/replica"
+)
+
+// Histogram bucket layouts. Latency buckets span 100µs–60s (queue
+// waits and reduces live at opposite ends); width buckets cover the
+// practical batch range.
+var (
+	latencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60}
+	widthBuckets   = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// memSnap is the consistent membership snapshot the cluster gauges
+// render from. It is refreshed under the registry lock by the OnScrape
+// prelude, and only read by gauge funcs that run under that same lock
+// — so epoch/nodes/replicas always describe one membership view.
+type memSnap struct {
+	epoch    uint64
+	nodes    int
+	replicas int
+}
+
+// initProm builds the Prometheus registry. Counters bridge the
+// existing expvar cells via CounterFunc; histograms are the only new
+// state. Call after initVars and cluster construction.
+func (s *Server) initProm() {
+	r := promtext.NewRegistry()
+	s.prom = r
+
+	ivar := func(v *expvar.Int) func() float64 {
+		return func() float64 { return float64(v.Value()) }
+	}
+	r.CounterFunc("avtmor_reduce_total", "Reduce requests received (counted before quota and admission).", ivar(&s.reduceReqs))
+	r.CounterFunc("avtmor_simulate_total", "Simulation requests accepted for handling.", ivar(&s.simReqs))
+	r.CounterFunc("avtmor_rom_get_total", "By-address ROM GET requests.", ivar(&s.romGets))
+	r.CounterFunc("avtmor_batch_total", "Batch reduce requests.", ivar(&s.batchReqs))
+	r.CounterFunc("avtmor_batch_items_total", "Items across all batch requests.", ivar(&s.batchItems))
+	r.CounterFunc("avtmor_rejected_total", "Requests shed with 429 or 503 (backpressure, drain).", ivar(&s.rejected))
+	r.CounterFunc("avtmor_client_errors_total", "Requests answered with a 4xx other than backpressure.", ivar(&s.clientErrs))
+	r.CounterFunc("avtmor_server_errors_total", "Requests answered with a 5xx.", ivar(&s.srvErrs))
+	r.CounterFunc("avtmor_quota_rejected_total", "Requests shed because the client's quota bucket was dry.", ivar(&s.quotaRejected))
+	r.CounterFunc("avtmor_admission_rejected_total", "Requests shed because their cost did not fit the admission budget.", ivar(&s.admissionRejected))
+
+	r.GaugeFunc("avtmor_workers", "Size of the reduce/simulate worker pool.",
+		func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("avtmor_workers_busy", "Workers currently executing.",
+		func() float64 { return float64(s.busy.Load()) })
+	r.GaugeFunc("avtmor_queue_capacity", "Bounded wait-queue capacity.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	r.GaugeFunc("avtmor_queue_depth", "Requests waiting for a worker.",
+		func() float64 { return float64(len(s.queue)) })
+	r.GaugeFunc("avtmor_admission_budget", "Concurrent cost budget, in admission units.",
+		func() float64 { return float64(s.adm.budget) })
+	r.GaugeFunc("avtmor_admission_in_use", "Admission units reserved by running requests.",
+		func() float64 { return float64(s.adm.used()) })
+	r.GaugeFunc("avtmor_draining", "1 while Drain/Close has been called, else 0.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	rstat := func(f func(avtmor.ReducerStats) int64) func() float64 {
+		return func() float64 { return float64(f(s.reducer.Stats())) }
+	}
+	r.CounterFunc("avtmor_reductions_total", "Reductions actually executed (cache misses).",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.Reductions }))
+	r.CounterFunc("avtmor_cache_hits_total", "Reduce requests answered from the in-memory ROM cache.",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.CacheHits }))
+	r.CounterFunc("avtmor_store_hits_total", "Reduce requests answered from the on-disk store.",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.StoreHits }))
+	r.CounterFunc("avtmor_store_errors_total", "Store read/write failures observed by the reducer.",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.StoreErrors }))
+	r.CounterFunc("avtmor_coalesced_total", "Reduce requests coalesced onto an identical in-flight reduction.",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.Coalesced }))
+	r.CounterFunc("avtmor_evictions_total", "ROMs evicted from the in-memory cache.",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.Evictions }))
+	r.GaugeFunc("avtmor_cached_roms", "ROMs resident in the in-memory cache.",
+		rstat(func(st avtmor.ReducerStats) int64 { return int64(st.CachedROMs) }))
+	r.GaugeFunc("avtmor_inflight_reductions", "Reductions executing or coalescing right now.",
+		rstat(func(st avtmor.ReducerStats) int64 { return int64(st.InFlight) }))
+	r.CounterFunc("avtmor_solver_factorizations_total", "Sparse/dense factorizations performed.",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.Factorizations }))
+	r.CounterFunc("avtmor_solver_batch_solves_total", "Blocked multi-RHS solve calls.",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.BatchSolves }))
+	r.CounterFunc("avtmor_solver_batch_columns_total", "Right-hand-side columns across blocked solves.",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.BatchColumns }))
+	r.CounterFunc("avtmor_solver_symbolic_analyses_total", "Symbolic LU analyses (pattern-level work).",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.SymbolicAnalyses }))
+	r.CounterFunc("avtmor_solver_numeric_refactors_total", "Numeric refactorizations reusing a symbolic analysis.",
+		rstat(func(st avtmor.ReducerStats) int64 { return st.NumericRefactors }))
+
+	r.GaugeFunc("avtmor_store_roms", "Artifacts resident in the on-disk store.",
+		func() float64 {
+			if s.st == nil {
+				return 0
+			}
+			return float64(s.st.Len())
+		})
+	r.GaugeFunc("avtmor_store_quarantined", "Store files quarantined by the magic sniff.",
+		func() float64 {
+			if s.st == nil {
+				return 0
+			}
+			return float64(s.st.Stats().Quarantined)
+		})
+
+	s.queueWait = r.Histogram("avtmor_queue_wait_seconds",
+		"Time an admitted job waited for a worker before executing.", latencyBuckets)
+	s.reduceLatency = r.Histogram("avtmor_reduce_seconds",
+		"End-to-end reduce handling time (queue wait + reduction).", latencyBuckets)
+	s.simLatency = r.Histogram("avtmor_simulate_seconds",
+		"End-to-end simulate handling time.", latencyBuckets)
+	s.httpLatency = r.Histogram("avtmor_http_request_seconds",
+		"Wall time of every HTTP request, all endpoints.", latencyBuckets)
+	s.batchWidth = r.Histogram("avtmor_batch_width",
+		"Items per batch request.", widthBuckets)
+
+	if cs := s.cluster; cs != nil {
+		cs.initProm(r)
+		s.forwardLatency = r.Histogram("avtmor_forward_seconds",
+			"Time to relay a request to a ring peer and stream its response.", latencyBuckets)
+		s.pushLatency = r.Histogram("avtmor_replica_push_seconds",
+			"Time to push one replica copy to a co-replica.", latencyBuckets)
+	}
+}
+
+// initProm registers the cluster gauges and counters. The
+// epoch/nodes/replicas trio reads the snap refreshed by the OnScrape
+// prelude — the torn-read fix: one State.View() per scrape, not three
+// independent reads racing a membership transition.
+func (cs *clusterState) initProm(r *promtext.Registry) {
+	cs.promReg = r
+	snap := &memSnap{}
+	r.OnScrape(func() {
+		ms, ring := cs.state.View()
+		snap.epoch = ms.Epoch
+		snap.nodes = ring.Len()
+		snap.replicas = ms.Replicas
+	})
+	r.GaugeFunc("avtmor_cluster_epoch", "Membership epoch of this node's view.",
+		func() float64 { return float64(snap.epoch) })
+	r.GaugeFunc("avtmor_cluster_nodes", "Fleet size under this node's membership view.",
+		func() float64 { return float64(snap.nodes) })
+	r.GaugeFunc("avtmor_cluster_replicas", "Replication factor R under this node's membership view.",
+		func() float64 { return float64(snap.replicas) })
+
+	ivar := func(v *expvar.Int) func() float64 {
+		return func() float64 { return float64(v.Value()) }
+	}
+	r.CounterFunc("avtmor_cluster_owner_hits_total", "Requests served here because the ring placed the key here.", ivar(&cs.ownerHits))
+	r.CounterFunc("avtmor_cluster_forwarded_serves_total", "Requests served here because a peer forwarded them (loop guard).", ivar(&cs.forwardedServes))
+	r.CounterFunc("avtmor_cluster_local_hits_total", "Peer-owned requests served from a local copy.", ivar(&cs.localHits))
+	r.CounterFunc("avtmor_cluster_fallback_local_total", "Requests computed locally because every owner was unreachable or draining.", ivar(&cs.fallbackLocal))
+	r.CounterFunc("avtmor_cluster_replica_writes_total", "Replica copies accepted over PUT /v1/cluster/roms.", ivar(&cs.replicaWrites))
+	r.CounterFunc("avtmor_cluster_replica_pushes_total", "Replica copies pushed to co-replicas.", ivar(&cs.replicaPushes))
+	r.CounterFunc("avtmor_cluster_replica_push_errors_total", "Replica pushes that failed (anti-entropy will retry).", ivar(&cs.replicaPushErrors))
+	r.CounterFunc("avtmor_cluster_read_repairs_total", "Missing local copies restored from a co-replica during a GET.", ivar(&cs.readRepairs))
+	r.CounterFunc("avtmor_cluster_epoch_mismatches_total", "Requests or relays that met a peer on a different epoch.", ivar(&cs.epochMismatches))
+	r.CounterFunc("avtmor_cluster_orphans_marked_total", "Fallback artifacts tagged for anti-entropy handoff.", ivar(&cs.orphansMarked))
+
+	sweep := func(f func(st replica.SweepStats) int64) func() float64 {
+		return func() float64 {
+			if cs.sweeper == nil {
+				return 0
+			}
+			return float64(f(cs.sweeper.Stats()))
+		}
+	}
+	r.CounterFunc("avtmor_cluster_anti_entropy_sweeps_total", "Anti-entropy sweep rounds completed.",
+		sweep(func(st replica.SweepStats) int64 { return st.Sweeps }))
+	r.CounterFunc("avtmor_cluster_anti_entropy_pulls_total", "Missing replica copies pulled during sweeps.",
+		sweep(func(st replica.SweepStats) int64 { return st.Pulls }))
+	r.CounterFunc("avtmor_cluster_orphan_handoffs_total", "Orphaned fallback artifacts handed to their owners.",
+		sweep(func(st replica.SweepStats) int64 { return st.Handoffs }))
+	r.CounterFunc("avtmor_cluster_membership_updates_total", "Membership views adopted from peers.",
+		sweep(func(st replica.SweepStats) int64 { return st.MembershipUpdates }))
+
+	// Per-peer counters for statically configured peers register now;
+	// dynamically joined peers register on first contact via peerVar.
+	cs.mu.Lock()
+	peers := make([]string, 0, len(cs.peers))
+	for addr := range cs.peers {
+		peers = append(peers, addr)
+	}
+	cs.mu.Unlock()
+	for _, addr := range peers {
+		cs.promPeer(addr)
+	}
+}
+
+// promPeer registers the per-peer forward counters as labeled children
+// of the peer counter families. Safe to call once per peer; peerVar
+// guards the once.
+func (cs *clusterState) promPeer(addr string) {
+	r := cs.promReg
+	if r == nil {
+		return
+	}
+	cs.mu.Lock()
+	pv := cs.peers[addr]
+	cs.mu.Unlock()
+	if pv == nil {
+		return
+	}
+	lbl := promtext.Label{Name: "peer", Value: addr}
+	r.CounterFunc("avtmor_cluster_peer_forwards_total", "Requests relayed to this peer.",
+		func() float64 { return float64(pv.forwards.Value()) }, lbl)
+	r.CounterFunc("avtmor_cluster_peer_forward_errors_total", "Relays to this peer that failed or found it draining.",
+		func() float64 { return float64(pv.forwardErrors.Value()) }, lbl)
+}
+
+// handlePromMetrics is GET /metrics: the Prometheus text exposition.
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.prom.WriteTo(w)
+}

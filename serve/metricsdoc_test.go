@@ -1,0 +1,86 @@
+package serve_test
+
+// Drift guard between the runtime metrics surface and its reference
+// documentation. docs/METRICS.md is declared the source of truth for
+// metric names: every family a live clustered node emits must be
+// documented there, and every documented row tagged `stable` must
+// actually be emitted. Adding a metric without documenting it — or
+// documenting one that no longer exists — fails this test, so the two
+// can never drift apart silently.
+
+import (
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"avtmor/internal/promtext"
+)
+
+// docRow matches one table row of docs/METRICS.md whose first cell is
+// a backticked metric name.
+var docRow = regexp.MustCompile("^\\|\\s*`(avtmor_[a-zA-Z0-9_]+)`\\s*\\|")
+
+// documentedMetrics parses docs/METRICS.md into name → stable?.
+func documentedMetrics(t *testing.T) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile("../docs/METRICS.md")
+	if err != nil {
+		t.Fatalf("reading docs/METRICS.md: %v", err)
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := docRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if _, dup := out[name]; dup {
+			t.Fatalf("docs/METRICS.md documents %s twice", name)
+		}
+		out[name] = strings.Contains(line, "| stable |")
+	}
+	if len(out) == 0 {
+		t.Fatal("docs/METRICS.md contains no metric table rows")
+	}
+	return out
+}
+
+// TestMetricsDocDriftGuard scrapes a live clustered test server and
+// checks both directions of the docs contract.
+func TestMetricsDocDriftGuard(t *testing.T) {
+	docs := documentedMetrics(t)
+
+	// A clustered node emits the full surface, cluster families
+	// included; one reduce makes the counters live.
+	nodes := startCluster(t, 3)
+	postReduce(t, nodes[0].url, reducePath, clipper)
+
+	resp, err := http.Get(nodes[0].url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	scrape, err := promtext.Parse(resp.Body)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	emitted := map[string]bool{}
+	for _, name := range scrape.Families() {
+		emitted[name] = true
+	}
+
+	// Direction 1: everything emitted is documented.
+	for name := range emitted {
+		if _, ok := docs[name]; !ok {
+			t.Errorf("metric %s is emitted but not documented in docs/METRICS.md", name)
+		}
+	}
+	// Direction 2: everything documented as stable is emitted.
+	for name, stable := range docs {
+		if stable && !emitted[name] {
+			t.Errorf("docs/METRICS.md tags %s stable but a clustered node does not emit it", name)
+		}
+	}
+}

@@ -26,6 +26,10 @@ import (
 // xp, droptol, decoupledh2, solver, parallel, method, timeout).
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	s.reduceReqs.Add(1)
+	start := time.Now()
+	if !s.checkQuota(w, r, 1) {
+		return
+	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
@@ -40,6 +44,8 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	cost := estimateCost(sys, req)
+	setCost(w, cost)
 	ctx := r.Context()
 	if req.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -73,6 +79,20 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		}
 		s.cluster.fallbackLocal.Add(1)
 	}
+	// Cache and store hits cost no compute: answer them without
+	// touching the admission budget, so a warm key is never queued
+	// behind an expensive burst.
+	if cached, err := s.reducer.Lookup(key); err == nil && cached != nil {
+		s.remember(digest, cached)
+		s.reduceLatency.Observe(time.Since(start).Seconds())
+		writeROM(w, digest, cached)
+		return
+	}
+	release, admitted := s.admitted(w, r, cost)
+	if !admitted {
+		return
+	}
+	defer release()
 	had := s.hasLocal(digest)
 	var (
 		rom  *avtmor.ROM
@@ -92,8 +112,9 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	if !had {
 		// A fresh artifact: write through to the co-replicas (or tag it
 		// for handoff if this was an owner-down fallback).
-		s.afterWrite(digest, rom)
+		s.afterWrite(ctx, digest, rom)
 	}
+	s.reduceLatency.Observe(time.Since(start).Seconds())
 	writeROM(w, digest, rom)
 }
 

@@ -41,8 +41,10 @@ const maxPullBytes = 64 << 20
 // backstops any push that fails. On a non-replica (owner-down
 // fallback), the local copy is tagged as an orphan so the sweep hands
 // it to the real owners and reclaims the space, instead of leaving
-// dead weight that never serves a request.
-func (s *Server) afterWrite(digest string, rom *avtmor.ROM) {
+// dead weight that never serves a request. ctx contributes only the
+// request ID, so the originating request is greppable on the
+// co-replica's access log; the pushes themselves outlive the request.
+func (s *Server) afterWrite(ctx context.Context, digest string, rom *avtmor.ROM) {
 	cs := s.cluster
 	if cs == nil {
 		return
@@ -54,19 +56,20 @@ func (s *Server) afterWrite(digest string, rom *avtmor.ROM) {
 		}
 		return
 	}
+	rid := requestID(ctx)
 	for _, o := range owners {
 		if o == cs.self {
 			continue
 		}
 		s.repWG.Add(1)
-		go s.pushReplica(o, digest, rom)
+		go s.pushReplica(o, digest, rid, rom)
 	}
 }
 
 // pushReplica uploads one artifact copy to a co-replica. It runs
 // detached from any request: the client's response never waits on
 // follower writes.
-func (s *Server) pushReplica(owner, digest string, rom *avtmor.ROM) {
+func (s *Server) pushReplica(owner, digest, rid string, rom *avtmor.ROM) {
 	defer s.repWG.Done()
 	cs := s.cluster
 	var buf bytes.Buffer
@@ -76,9 +79,16 @@ func (s *Server) pushReplica(owner, digest string, rom *avtmor.ROM) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), peerOpTimeout)
 	defer cancel()
+	if rid != "" {
+		ctx = context.WithValue(ctx, ridKey{}, rid)
+	}
+	start := time.Now()
 	if err := s.putReplica(ctx, owner, digest, buf.Bytes()); err != nil {
 		cs.replicaPushErrors.Add(1)
 		return
+	}
+	if s.pushLatency != nil {
+		s.pushLatency.Observe(time.Since(start).Seconds())
 	}
 	cs.replicaPushes.Add(1)
 }
@@ -93,6 +103,9 @@ func (s *Server) putReplica(ctx context.Context, peer, digest string, raw []byte
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(HeaderEpoch, strconv.FormatUint(cs.state.Epoch(), 10))
+	if rid := requestID(ctx); rid != "" {
+		req.Header.Set(HeaderRequestID, rid)
+	}
 	resp, err := cs.hc.Do(req)
 	if err != nil {
 		return err

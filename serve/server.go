@@ -5,14 +5,15 @@
 // paper's amortization argument — reduce once, evaluate many — lifted
 // to the process boundary.
 //
-// Endpoints (see DESIGN.md §5 for the full table):
+// Endpoints (see docs/API.md for the full reference):
 //
 //	POST /v1/reduce                  netlist or serialized-System body → ROM binary
 //	POST /v1/reduce/batch            many bodies in one batch frame → multi-ROM frame
 //	GET  /v1/roms/{key}              stored ROM binary by content address (ETag/304)
 //	POST /v1/roms/{key}/simulate     workload JSON → transient result JSON/CSV
 //	GET  /healthz                    liveness
-//	GET  /metrics                    expvar-style JSON counters
+//	GET  /metrics                    Prometheus text exposition (docs/METRICS.md)
+//	GET  /metrics.json               legacy expvar-style JSON counters
 //
 // Reductions and simulations execute on a bounded worker pool with a
 // bounded wait queue; overflow is answered 429 so load sheds at the
@@ -20,6 +21,16 @@
 // requests coalesce onto one reduction (Reducer singleflight), and
 // completed artifacts are written through to the store, where a
 // restarted daemon finds them again.
+//
+// Load is managed in three layers, outermost first: per-API-key
+// token-bucket quotas (Config.Quotas, X-Avtmor-Api-Key), a cost-aware
+// admission budget that prices each request from its parsed input
+// before it queues (Config.CostBudget, estimate echoed in
+// X-Avtmor-Cost), and the worker pool itself. Every request carries a
+// trace ID (X-Avtmor-Request-Id, minted at the entry node) that
+// propagates across forwards, batch fan-out, and replica pushes, and
+// lands in the optional JSON access log (Config.AccessLog). The
+// operator-facing story is docs/OPERATIONS.md.
 package serve
 
 import (
@@ -27,6 +38,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -34,6 +46,8 @@ import (
 	"time"
 
 	"avtmor"
+	"avtmor/internal/promtext"
+	"avtmor/internal/quota"
 	"avtmor/internal/store"
 )
 
@@ -83,6 +97,22 @@ type Config struct {
 	// artifacts. 0 selects the default (5s); negative disables
 	// sweeping. Sweeping requires a StoreDir.
 	AntiEntropyInterval time.Duration
+	// CostBudget bounds the total estimated cost of concurrently
+	// admitted work, in admission units (see docs/OPERATIONS.md for the
+	// cost model). Requests are priced before enqueue and admitted
+	// against this budget instead of a job count, so expensive reduces
+	// queue behind their own kind while cheap ones keep flowing.
+	// Default 1024.
+	CostBudget int64
+	// Quotas maps API keys (the X-Avtmor-Api-Key header) to token
+	// buckets enforced before admission. The "" key is the default
+	// bucket shared by unkeyed requests and unlisted keys; with no ""
+	// entry, unlisted keys are unlimited. Empty map disables quotas.
+	Quotas map[string]QuotaSpec
+	// AccessLog, when non-nil, receives one JSON line per completed
+	// request (request ID, status, duration, cost). Writes are
+	// serialized by the server.
+	AccessLog io.Writer
 }
 
 // Server is the HTTP reduction service. Create with New, mount
@@ -106,10 +136,24 @@ type Server struct {
 
 	cluster *clusterState // nil when Peers is empty
 
-	vars                          *expvar.Map
-	reduceReqs, simReqs, romGets  expvar.Int
-	batchReqs, batchItems         expvar.Int
-	rejected, clientErrs, srvErrs expvar.Int
+	adm    *admission     // concurrent cost budget
+	quotas *quota.Limiter // nil when no quotas configured
+	logMu  sync.Mutex     // serializes AccessLog lines
+
+	vars                             *expvar.Map
+	reduceReqs, simReqs, romGets     expvar.Int
+	batchReqs, batchItems            expvar.Int
+	rejected, clientErrs, srvErrs    expvar.Int
+	quotaRejected, admissionRejected expvar.Int
+
+	prom           *promtext.Registry
+	queueWait      *promtext.Histogram
+	reduceLatency  *promtext.Histogram
+	simLatency     *promtext.Histogram
+	httpLatency    *promtext.Histogram
+	batchWidth     *promtext.Histogram
+	forwardLatency *promtext.Histogram // nil when not clustered
+	pushLatency    *promtext.Histogram // nil when not clustered
 }
 
 // New opens the store (when configured), builds the Reducer tier, and
@@ -143,6 +187,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CostBudget <= 0 {
+		cfg.CostBudget = 1024
+	}
 	s := &Server{
 		cfg:     cfg,
 		reducer: avtmor.NewReducer(ropts...),
@@ -151,8 +198,13 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan func(), cfg.QueueDepth),
 		closed:  make(chan struct{}),
 		cluster: cs,
+		adm:     newAdmission(cfg.CostBudget),
+	}
+	if len(cfg.Quotas) > 0 {
+		s.quotas = quota.New(cfg.Quotas)
 	}
 	s.initVars()
+	s.initProm()
 	s.startSweeper()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -172,7 +224,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/roms/{key}", s.handleGetROM)
 	mux.HandleFunc("POST /v1/roms/{key}/simulate", s.handleSimulate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetrics)
+	var h http.Handler = mux
 	if s.cluster != nil {
 		mux.HandleFunc("GET /v1/cluster/keys", s.handleClusterKeys)
 		mux.HandleFunc("GET /v1/cluster/membership", s.handleGetMembership)
@@ -180,9 +234,11 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /v1/cluster/join", s.handleJoin)
 		mux.HandleFunc("POST /v1/cluster/leave", s.handleLeave)
 		mux.HandleFunc("PUT /v1/cluster/roms/{key}", s.handlePutReplica)
-		return s.withEpoch(mux)
+		h = s.withEpoch(h)
 	}
-	return mux
+	// Observability is the outermost layer: request IDs exist before
+	// any routing decision, and the access log sees the final status.
+	return s.withObservability(h)
 }
 
 // handleHealthz is the load-balancer (and ring-peer) health probe:
@@ -246,8 +302,10 @@ func (s *Server) run(ctx context.Context, fn func()) error {
 	default:
 	}
 	done := make(chan struct{})
+	enqueued := time.Now()
 	job := func() {
 		defer close(done)
+		s.queueWait.Observe(time.Since(enqueued).Seconds())
 		if ctx.Err() == nil {
 			fn()
 		}
@@ -315,11 +373,15 @@ func (s *Server) initVars() {
 	m.Set("rejected", &s.rejected)
 	m.Set("client_errors", &s.clientErrs)
 	m.Set("server_errors", &s.srvErrs)
+	m.Set("quota_rejected", &s.quotaRejected)
+	m.Set("admission_rejected", &s.admissionRejected)
 	m.Set("workers", intVar(int64(s.cfg.Workers)))
 	m.Set("queue_capacity", intVar(int64(s.cfg.QueueDepth)))
 	gauge := func(name string, f func() any) { m.Set(name, expvar.Func(f)) }
 	gauge("queue_depth", func() any { return len(s.queue) })
 	gauge("workers_busy", func() any { return s.busy.Load() })
+	gauge("admission_budget", func() any { return s.adm.budget })
+	gauge("admission_in_use", func() any { return s.adm.used() })
 	rstat := func(f func(avtmor.ReducerStats) any) func() any {
 		return func() any { return f(s.reducer.Stats()) }
 	}

@@ -66,7 +66,7 @@ func postReduce(t testing.TB, base, path, body string) ([]byte, string) {
 
 func metrics(t testing.TB, base string) map[string]float64 {
 	t.Helper()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

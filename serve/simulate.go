@@ -65,6 +65,10 @@ type simResponse struct {
 // worker pool: a saturated daemon sheds them with 429 too.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.simReqs.Add(1)
+	start := time.Now()
+	if !s.checkQuota(w, r, 1) {
+		return
+	}
 	digest := r.PathValue("key")
 	if owners := s.route(r, digest); owners != nil {
 		if s.hasLocal(digest) {
@@ -112,6 +116,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	cost := simulateCost(rom.Order(), req.Steps)
+	setCost(w, cost)
+	release, admitted := s.admitted(w, r, cost)
+	if !admitted {
+		return
+	}
+	defer release()
 	var (
 		res  *avtmor.Result
 		serr error
@@ -126,6 +137,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.opError(w, "simulation", serr)
 		return
 	}
+	s.simLatency.Observe(time.Since(start).Seconds())
 	every := req.Every
 	if every < 1 {
 		every = 1
